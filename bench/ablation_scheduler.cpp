@@ -1,0 +1,92 @@
+// Ablation: scheduling policy vs. the queue-time rules (PAI1/PAI2).
+//
+// The paper's queue-wait observations come from a production scheduler.
+// Our substrate defaults to FIFO gang scheduling without backfill; this
+// bench re-runs the PAI workload under EASY backfill and shows
+//  (a) how much backfill compresses queue times in the congested
+//      non-T4 pool, and
+//  (b) whether the PAI1/PAI2 rule family (T4 short queues vs non-T4
+//      long queues) survives the policy change — it should: backfill
+//      shrinks waits but cannot erase the demand/capacity imbalance.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace {
+
+using namespace gpumine;
+
+struct QueueStats {
+  analysis::BoxStats t4;
+  analysis::BoxStats non_t4;
+};
+
+QueueStats queue_stats(const std::vector<trace::JobRecord>& records) {
+  std::vector<double> t4;
+  std::vector<double> non_t4;
+  for (const auto& r : records) {
+    if (r.gpu_model == trace::GpuModel::kT4) {
+      t4.push_back(r.queue_time_s);
+    } else if (r.gpu_model == trace::GpuModel::kNonT4) {
+      non_t4.push_back(r.queue_time_s);
+    }
+  }
+  return {analysis::box_stats(t4), analysis::box_stats(non_t4)};
+}
+
+}  // namespace
+
+int main() {
+  using trace::GpuModel;
+  bench::print_header(
+      "Ablation - FIFO vs EASY backfill on the PAI queue rules",
+      "extends paper Table VIII PAI1/PAI2 (queue pressure by GPU pool)");
+
+  // Regenerate the PAI job stream once, then replay it through the
+  // simulator under both policies so the comparison is apples-to-apples.
+  const auto pai = bench::make_pai();
+  std::vector<sim::JobRequest> requests;
+  requests.reserve(pai.trace.records.size());
+  for (const auto& r : pai.trace.records) {
+    sim::JobRequest q;
+    q.submit_time_s = r.submit_time_s;
+    q.pool = r.gpu_model;
+    q.num_gpus = r.num_gpus;
+    // Replay the realized busy time as the nominal duration.
+    q.run_duration_s = std::max(1.0, r.runtime_s);
+    requests.push_back(q);
+  }
+  const auto cfg = bench::pai_cfg();
+  sim::ClusterSim cluster({{GpuModel::kT4, cfg.t4_gpus},
+                           {GpuModel::kNonT4, cfg.non_t4_gpus},
+                           {GpuModel::kNone, cfg.misc_gpus}});
+
+  for (const auto policy :
+       {sim::SchedulerPolicy::kFifo, sim::SchedulerPolicy::kEasyBackfill}) {
+    sim::SimParams params;
+    params.policy = policy;
+    const auto outcomes = cluster.run(requests, params);
+    auto records = pai.trace.records;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records[i].queue_time_s = outcomes[i].queue_time_s;
+    }
+    const QueueStats stats = queue_stats(records);
+    const char* name =
+        policy == sim::SchedulerPolicy::kFifo ? "FIFO    " : "backfill";
+    std::printf("%s  T4 queue:     %s\n", name,
+                analysis::render_box(stats.t4, "s").c_str());
+    std::printf("%s  non-T4 queue: %s\n", name,
+                analysis::render_box(stats.non_t4, "s").c_str());
+    std::printf("%s  upper-quartile waits: non-T4 %.0fs vs T4 %.0fs\n", name,
+                stats.non_t4.q3, stats.t4.q3);
+  }
+  std::printf(
+      "expectation: backfill compresses both distributions but the non-T4\n"
+      "pool stays the congested one — PAI1/PAI2 are a capacity-vs-demand\n"
+      "story, not a scheduling artifact.\n");
+  return 0;
+}

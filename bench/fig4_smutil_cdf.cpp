@@ -1,0 +1,36 @@
+// Figure 4: CDF of per-job mean GPU SM utilization, per trace.
+//
+// Paper expectation: a large mass at exactly 0% — 46% (PAI), 10%
+// (SuperCloud), 35% (Philly) — then a long climb to 100%.
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace gpumine;
+
+void cdf_of(const bench::TraceBundle& bundle, double paper_zero_fraction) {
+  std::vector<double> sm;
+  sm.reserve(bundle.trace.records.size());
+  for (const auto& r : bundle.trace.records) sm.push_back(r.sm_util);
+  std::printf("%s: zero-SM fraction = %.3f (paper: %.2f)\n",
+              bundle.name.c_str(), analysis::cdf_at(sm, 0.0),
+              paper_zero_fraction);
+  std::printf("  SM%%\tP(X<=x)\n");
+  for (const double x : {0.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0}) {
+    std::printf("  %.0f\t%.3f\n", x, analysis::cdf_at(sm, x));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 4 - CDF of mean GPU SM utilization",
+                      "paper Fig. 4 (zero mass: PAI .46, SC .10, Philly .35)");
+  cdf_of(bench::make_pai(), 0.46);
+  cdf_of(bench::make_supercloud(), 0.10);
+  cdf_of(bench::make_philly(), 0.35);
+  return 0;
+}

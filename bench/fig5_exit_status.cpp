@@ -1,0 +1,36 @@
+// Figure 5: job exit-status breakdown per trace.
+//
+// Paper expectation (shape): failed jobs exceed 13% everywhere; PAI has
+// the highest failure share and no user-killed label; SuperCloud and
+// Philly both show a sizable killed share.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "synth/common.hpp"
+
+namespace {
+
+using namespace gpumine;
+using trace::ExitStatus;
+
+void breakdown(const bench::TraceBundle& bundle) {
+  const auto& records = bundle.trace.records;
+  std::printf("%-10s completed=%.3f failed=%.3f killed=%.3f timeout=%.3f\n",
+              bundle.name.c_str(),
+              synth::status_fraction(records, ExitStatus::kCompleted),
+              synth::status_fraction(records, ExitStatus::kFailed),
+              synth::status_fraction(records, ExitStatus::kKilled),
+              synth::status_fraction(records, ExitStatus::kTimeout));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5 - job exit status shares",
+                      "paper Fig. 5 (failed > 13% everywhere; PAI highest, "
+                      "no killed label in PAI)");
+  breakdown(bench::make_pai());
+  breakdown(bench::make_supercloud());
+  breakdown(bench::make_philly());
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Performance comparison of the three frequent-itemset miners plus the
+// downstream rule-generation and pruning stages (google-benchmark).
+//
+// Supports the paper's Sec. III-C claim that FP-Growth is the state of
+// the practice: Apriori's candidate generate-and-count pays one database
+// pass per level and an exponential candidate set on dense data, while
+// FP-Growth compresses the database once. Eclat sits in between on
+// these workloads.
+#include <benchmark/benchmark.h>
+
+#include "core/apriori.hpp"
+#include "core/eclat.hpp"
+#include "core/fpgrowth.hpp"
+#include "core/partitioned.hpp"
+#include "core/pruning.hpp"
+#include "core/streaming.hpp"
+#include "core/rules.hpp"
+#include "trace/rng.hpp"
+
+namespace {
+
+using namespace gpumine;
+
+// Random database shaped like an encoded job trace: `items` features
+// with skewed inclusion probabilities, plus a handful of injected
+// co-occurrence patterns (like job archetypes) so rule generation and
+// pruning have realistic dependent structure to chew on.
+core::TransactionDb make_db(std::size_t num_txns, core::ItemId items,
+                            double density, std::uint64_t seed) {
+  trace::Rng rng(seed);
+  std::vector<double> p(items);
+  for (auto& v : p) v = rng.uniform(0.2, 1.0) * density;
+  std::vector<core::Itemset> patterns;
+  for (int k = 0; k < 5; ++k) {
+    core::Itemset pattern;
+    for (int j = 0; j < 4; ++j) {
+      pattern.push_back(static_cast<core::ItemId>(rng.uniform_int(0, items - 1)));
+    }
+    core::canonicalize(pattern);
+    patterns.push_back(std::move(pattern));
+  }
+  core::TransactionDb db;
+  for (std::size_t t = 0; t < num_txns; ++t) {
+    core::Itemset txn;
+    for (core::ItemId i = 0; i < items; ++i) {
+      if (rng.bernoulli(p[i])) txn.push_back(i);
+    }
+    if (rng.bernoulli(0.35)) {
+      const auto& pattern = patterns[rng.uniform_int(0, patterns.size() - 1)];
+      txn.insert(txn.end(), pattern.begin(), pattern.end());
+    }
+    db.add(std::move(txn));
+  }
+  return db;
+}
+
+core::MiningParams params() {
+  core::MiningParams p;
+  p.min_support = 0.05;
+  p.max_length = 5;
+  return p;
+}
+
+void BM_FpGrowth(benchmark::State& state) {
+  const auto db = make_db(static_cast<std::size_t>(state.range(0)), 36,
+                          static_cast<double>(state.range(1)) / 100.0, 7);
+  std::size_t itemsets = 0;
+  for (auto _ : state) {
+    const auto result = core::mine_fpgrowth(db, params());
+    itemsets = result.itemsets.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+}
+BENCHMARK(BM_FpGrowth)
+    ->Args({2000, 25})
+    ->Args({2000, 45})
+    ->Args({10000, 25})
+    ->Args({10000, 45})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Apriori(benchmark::State& state) {
+  const auto db = make_db(static_cast<std::size_t>(state.range(0)), 36,
+                          static_cast<double>(state.range(1)) / 100.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_apriori(db, params()));
+  }
+}
+BENCHMARK(BM_Apriori)
+    ->Args({2000, 25})
+    ->Args({2000, 45})
+    ->Args({10000, 25})
+    ->Args({10000, 45})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Eclat(benchmark::State& state) {
+  const auto db = make_db(static_cast<std::size_t>(state.range(0)), 36,
+                          static_cast<double>(state.range(1)) / 100.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_eclat(db, params()));
+  }
+}
+BENCHMARK(BM_Eclat)
+    ->Args({2000, 25})
+    ->Args({2000, 45})
+    ->Args({10000, 25})
+    ->Args({10000, 45})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionedSon(benchmark::State& state) {
+  const auto db = make_db(static_cast<std::size_t>(state.range(0)), 36,
+                          0.45, 7);
+  core::PartitionedParams p;
+  p.mining = params();
+  p.num_partitions = static_cast<std::size_t>(state.range(1));
+  p.num_threads = 1;  // single-core box; measures algorithmic overhead
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mine_partitioned(db, p));
+  }
+}
+BENCHMARK(BM_PartitionedSon)
+    ->Args({10000, 1})
+    ->Args({10000, 4})
+    ->Args({10000, 16})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SlidingWindowMine(benchmark::State& state) {
+  const auto db = make_db(4000, 36, 0.45, 7);
+  core::SlidingWindowMiner miner(2000, params());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db[t];
+    miner.push(core::Itemset(txn.begin(), txn.end()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(miner.mine());
+  }
+}
+BENCHMARK(BM_SlidingWindowMine)->Unit(benchmark::kMillisecond);
+
+void BM_LossyCounterPush(benchmark::State& state) {
+  const auto db = make_db(10000, 36, 0.45, 7);
+  for (auto _ : state) {
+    core::LossyCounter counter(0.001);
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      counter.push(db[t]);
+    }
+    benchmark::DoNotOptimize(counter.frequent(0.05));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(db.size()));
+}
+BENCHMARK(BM_LossyCounterPush)->Unit(benchmark::kMillisecond);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const auto db = make_db(10000, 36, 0.45, 7);
+  const auto mined = core::mine_fpgrowth(db, params());
+  core::RuleParams rp;
+  rp.min_lift = 1.5;
+  std::size_t rules = 0;
+  for (auto _ : state) {
+    const auto out = core::generate_rules(mined, rp);
+    rules = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_RuleGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_KeywordPruning(benchmark::State& state) {
+  const auto db = make_db(10000, 36, 0.45, 7);
+  const auto mined = core::mine_fpgrowth(db, params());
+  core::RuleParams rp;
+  rp.min_lift = 1.0;  // larger input set for the pruner
+  const auto all = core::generate_rules(mined, rp);
+  const auto keyed = core::filter_keyword(all, /*keyword=*/0);
+  std::size_t kept = 0;
+  for (auto _ : state) {
+    const auto out = core::prune_rules(keyed, 0, core::PruneParams{});
+    kept = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["input_rules"] = static_cast<double>(keyed.size());
+  state.counters["kept_rules"] = static_cast<double>(kept);
+}
+BENCHMARK(BM_KeywordPruning)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Table II: GPU underutilization rules mined from the PAI trace.
+//
+// Paper expectation (rule families, keyword "SM Util = 0%"):
+//  C: low GPU-request bin => zero SM; low memory-used => zero SM;
+//     frequent group + unspecified GPU type => zero SM; low CPU util +
+//     short runtime => zero SM; standard CPU request => frequent user +
+//     zero SM.
+//  A: zero-SM jobs carry the low-customization template signature —
+//     standard CPU/memory request, GPU type None, Tensorflow, frequent
+//     user.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gpumine;
+  bench::print_header("Table II - PAI GPU underutilization rules",
+                      "paper Table II (keyword: SM Util = 0%)");
+  const auto bundle = bench::make_pai();
+  auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+  const auto a = analysis::analyze(mined, "SM Util = 0%", bundle.config);
+  analysis::RuleTableOptions options;
+  options.max_cause = 10;
+  options.max_characteristic = 8;
+  std::printf("%s",
+              analysis::render_rule_table(a, mined.prepared.catalog, options)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table IV: GPU underutilization rules mined from the Philly trace.
+//
+// Paper expectation (rule families, keyword "SM Util = 0%"):
+//  C: zero minimum SM util + short runtime => zero mean SM; low CPU
+//     utilization => zero SM.
+//  A: zero-SM jobs on the 24 GB GPU pool also show zero min-SM and low
+//     CPU utilization.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gpumine;
+  bench::print_header("Table IV - Philly GPU underutilization rules",
+                      "paper Table IV (keyword: SM Util = 0%)");
+  const auto bundle = bench::make_philly();
+  auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+  const auto a = analysis::analyze(mined, "SM Util = 0%", bundle.config);
+  analysis::RuleTableOptions options;
+  options.max_cause = 10;
+  options.max_characteristic = 8;
+  std::printf("%s",
+              analysis::render_rule_table(a, mined.prepared.catalog, options)
+                  .c_str());
+  return 0;
+}

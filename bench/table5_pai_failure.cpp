@@ -1,0 +1,30 @@
+// Table V: job failure rules mined from the PAI trace.
+//
+// Paper expectation (rule families, keyword "Failed"):
+//  C: below-usual CPU request + frequent group => unspecified GPU type +
+//     failed (high conf); zero GPU memory used + mid GPU request =>
+//     failed; frequent user x frequent group => failed (~0.9 conf); low
+//     memory used => failed.
+//  A: failed jobs share the template signature of the underutilization
+//     study (GPU type None, Tensorflow, standard requests, zero SM) —
+//     failure and underutilization are entangled.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gpumine;
+  bench::print_header("Table V - PAI job failure rules",
+                      "paper Table V (keyword: Failed)");
+  const auto bundle = bench::make_pai();
+  auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+  const auto a = analysis::analyze(mined, "Failed", bundle.config);
+  analysis::RuleTableOptions options;
+  options.max_cause = 10;
+  options.max_characteristic = 8;
+  std::printf("%s",
+              analysis::render_rule_table(a, mined.prepared.catalog, options)
+                  .c_str());
+  return 0;
+}

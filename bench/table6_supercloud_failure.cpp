@@ -1,0 +1,54 @@
+// Table VI: job failure rules mined from the SuperCloud trace.
+//
+// Paper expectation (rule families, keyword "Failed"): confidence is
+// modest (~0.2-0.4, failures are hard to pin down on SuperCloud) but
+// lift stays ~2-4x: low GMem-bandwidth utilization and low CPU
+// utilization both roughly double the failure odds; failed jobs with low
+// power also have low GMem util (conf ~0.9); a substantial share of
+// failures sits in the top runtime quartile (node failures / time
+// limits), not immediately after launch.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gpumine;
+  bench::print_header("Table VI - SuperCloud job failure rules",
+                      "paper Table VI (keyword: Failed)");
+  const auto bundle = bench::make_supercloud();
+  auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+  const auto a = analysis::analyze(mined, "Failed", bundle.config);
+  analysis::RuleTableOptions options;
+  options.max_cause = 10;
+  options.max_characteristic = 8;
+  std::printf("%s",
+              analysis::render_rule_table(a, mined.prepared.catalog, options)
+                  .c_str());
+
+  // The paper's A2 ({Failed} => {Runtime = Bin4}) may fall just under
+  // the 5% joint-support floor on the scaled trace; report the raw
+  // conditional directly so the long-runtime-failure observation is
+  // always visible.
+  std::size_t failed = 0;
+  std::size_t failed_long = 0;
+  std::vector<double> runtimes;
+  for (const auto& r : bundle.trace.records) runtimes.push_back(r.runtime_s);
+  std::sort(runtimes.begin(), runtimes.end());
+  const double p75 = runtimes[runtimes.size() * 3 / 4];
+  for (const auto& r : bundle.trace.records) {
+    if (r.status == trace::ExitStatus::kFailed ||
+        r.status == trace::ExitStatus::kTimeout) {
+      ++failed;
+      failed_long += r.runtime_s >= p75 ? 1 : 0;
+    }
+  }
+  std::printf(
+      "direct check (paper A2): P(Runtime in top quartile | Failed) = %.2f "
+      "(paper: 0.41)\n",
+      failed > 0 ? static_cast<double>(failed_long) /
+                       static_cast<double>(failed)
+                 : 0.0);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Table VII: job failure rules mined from the Philly trace.
+//
+// Paper expectation (rule families, keyword "Failed"):
+//  C: multi-GPU jobs fail ~2.5x the baseline rate (gang semantics); new
+//     users fail ~2.5x the baseline rate.
+//  A: failed jobs with zero min-SM intervals were frequently retried
+//     (Num Attempts > 1) and often run long before dying (Runtime Bin4).
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gpumine;
+  bench::print_header("Table VII - Philly job failure rules",
+                      "paper Table VII (keyword: Failed)");
+  const auto bundle = bench::make_philly();
+  auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+  const auto a = analysis::analyze(mined, "Failed", bundle.config);
+  analysis::RuleTableOptions options;
+  options.max_cause = 10;
+  options.max_characteristic = 8;
+  std::printf("%s",
+              analysis::render_rule_table(a, mined.prepared.catalog, options)
+                  .c_str());
+  return 0;
+}

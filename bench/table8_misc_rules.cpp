@@ -1,0 +1,80 @@
+// Table VIII: interesting trace-specific rules.
+//
+// Paper expectation (one rule family per row):
+//  PAI1  T4 jobs see short queues (Queue = Bin1) ...
+//  PAI2  ... while non-T4 jobs see long queues (Queue = Bin4), despite
+//        the 1:3.5 T4:non-T4 capacity ratio.
+//  PAI3  RecSys jobs run on T4 with multiple task instances.
+//  PAI4  zero CPU utilization + top-quartile SM utilization => NLP.
+//  CIR1  SuperCloud new users kill their own jobs ~1.75x baseline.
+//  PHI1  Philly multi-GPU jobs run very long (Runtime = Bin4).
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace gpumine;
+
+void show(const char* label, const analysis::MinedTrace& mined,
+          const std::vector<core::Rule>& rules, const char* needle,
+          std::size_t max_rows = 4) {
+  std::printf("--- %s ---\n", label);
+  std::size_t shown = 0;
+  for (const auto& r : rules) {
+    const std::string text = analysis::render_rule(r, mined.prepared.catalog);
+    if (text.find(needle) == std::string::npos) continue;
+    std::printf("  %s  supp=%.2f conf=%.2f lift=%.2f\n", text.c_str(),
+                r.support, r.confidence, r.lift);
+    if (++shown >= max_rows) break;
+  }
+  if (shown == 0) std::printf("  (no surviving rule mentions '%s')\n", needle);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table VIII - misc. trace-specific rules",
+                      "paper Table VIII (PAI1-4, CIR1, PHI1)");
+
+  // PAI rows need the model-labeled subset (Sec. IV-D).
+  {
+    const auto bundle = bench::make_pai();
+    const auto model_cfg = analysis::pai_model_config();
+    auto mined = analysis::mine(bundle.trace.merged(), model_cfg);
+
+    const auto t4 = analysis::analyze(mined, "GPU Type = T4", model_cfg);
+    show("PAI1: T4 => short queue", mined, t4.characteristic, "Queue = Bin1");
+
+    const auto nont4 =
+        analysis::analyze(mined, "GPU Type = None T4", model_cfg);
+    show("PAI2: non-T4 => long queue", mined, nont4.characteristic,
+         "Queue = Bin4");
+
+    const auto recsys = analysis::analyze(mined, "RecSys", model_cfg);
+    show("PAI3: RecSys => T4 + multiple tasks", mined, recsys.characteristic,
+         "GPU Type = T4");
+
+    const auto nlp = analysis::analyze(mined, "NLP", model_cfg);
+    show("PAI4: idle CPU + busy SM => NLP", mined, nlp.cause, "NLP");
+  }
+
+  // CIR1: SuperCloud new users kill their jobs.
+  {
+    const auto bundle = bench::make_supercloud();
+    auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+    const auto killed = analysis::analyze(mined, "Killed", bundle.config);
+    show("CIR1: new user => job killed", mined, killed.cause, "New User");
+  }
+
+  // PHI1: Philly multi-GPU jobs run long.
+  {
+    const auto bundle = bench::make_philly();
+    auto mined = analysis::mine(bundle.trace.merged(), bundle.config);
+    const auto multi = analysis::analyze(mined, "Multi-GPU", bundle.config);
+    show("PHI1: multi-GPU => long runtime", mined, multi.characteristic,
+         "Runtime = Bin4");
+  }
+  return 0;
+}

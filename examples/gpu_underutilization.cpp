@@ -1,0 +1,60 @@
+// Domain example: why do jobs request GPUs and never use them?
+//
+//   $ ./gpu_underutilization [num_jobs]
+//
+// Reproduces the paper's Sec. IV-B study end to end on the synthetic
+// SuperCloud trace: generate the trace (scheduler + node-level tables),
+// merge them, run the canonical workflow, and interpret the surviving
+// rules the way a system operator would.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.hpp"
+#include "analysis/trace_configs.hpp"
+#include "analysis/workflow.hpp"
+#include "synth/supercloud.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpumine;
+
+  synth::SuperCloudConfig config;
+  config.num_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
+  std::printf("generating synthetic SuperCloud trace (%zu jobs, seed %llu)\n",
+              config.num_jobs, static_cast<unsigned long long>(config.seed));
+  const synth::SynthTrace trace = synth::generate_supercloud(config);
+
+  // Scheduler-level and node-level features arrive in separate tables
+  // keyed by job id — exactly the situation Sec. III-E describes.
+  std::printf("scheduler table: %zu columns; node table: %zu columns\n",
+              trace.scheduler.num_columns(), trace.node.num_columns());
+  prep::Table merged = trace.merged();
+
+  const analysis::WorkflowConfig workflow = analysis::supercloud_config();
+  analysis::MinedTrace mined = analysis::mine(std::move(merged), workflow);
+  std::printf("encoded %zu transactions over %zu items; %zu frequent "
+              "itemsets at %.0f%% support\n\n",
+              mined.prepared.db.size(), mined.prepared.catalog.size(),
+              mined.mined.itemsets.size(),
+              workflow.mining.min_support * 100.0);
+
+  const core::KeywordAnalysis analysis =
+      analyze(mined, "SM Util = 0%", workflow);
+  std::printf("%s\n",
+              analysis::render_rule_table(analysis, mined.prepared.catalog)
+                  .c_str());
+
+  // Operator interpretation, following the paper's takeaway boxes.
+  std::printf("interpretation:\n");
+  std::printf(
+      " * Cause rules tie zero SM utilization to low GPU-memory bandwidth,\n"
+      "   low power draw and short runtimes -> debug/exploratory runs.\n");
+  std::printf(
+      " * Characteristic rules split the idle population in two: truly idle\n"
+      "   jobs hold no GPU memory, while occasional-inference jobs keep a\n"
+      "   model resident (memory occupied, cores idle).\n");
+  std::printf(
+      " * Suggested mitigation (paper Sec. IV-B): route debug jobs to a\n"
+      "   lower-tier pool and enable GPU sharing (MPS / MIG) for the\n"
+      "   inference-style holders.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Domain example: a morning operator review of the PAI cluster.
+//
+//   $ ./operator_review [num_jobs]
+//
+// Chains the post-processing extensions into one workflow a duty
+// operator would actually run:
+//   1. mine and prune failure rules (the paper's Sec. III pipeline);
+//   2. compress the surviving rules into a readable digest with the
+//      greedy coverage summarizer (like the paper's hand-picked tables);
+//   3. certify the digest with Fisher exact tests under an FDR budget;
+//   4. list "safe patterns" — negative rules X => NOT Failed — as
+//      allow-list candidates.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/drilldown.hpp"
+#include "analysis/report.hpp"
+#include "analysis/summarize.hpp"
+#include "analysis/trace_configs.hpp"
+#include "analysis/workflow.hpp"
+#include "core/negative.hpp"
+#include "core/significance.hpp"
+#include "synth/pai.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gpumine;
+
+  synth::PaiConfig config;
+  config.num_jobs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
+  std::printf("generating synthetic PAI trace (%zu jobs, seed %llu)\n\n",
+              config.num_jobs, static_cast<unsigned long long>(config.seed));
+  const auto workflow = analysis::pai_config();
+  const auto trace = synth::generate_pai(config);
+  auto mined = analysis::mine(trace.merged(), workflow);
+  const auto& catalog = mined.prepared.catalog;
+  const auto failed = *catalog.find("Failed");
+
+  // 1. The pruned keyword analysis.
+  const auto analysis = analysis::analyze(mined, "Failed", workflow);
+  std::printf("1) pruned rule set: %zu cause rules, %zu characteristic\n\n",
+              analysis.cause.size(), analysis.characteristic.size());
+
+  // 2. Digest: the fewest rules that jointly explain the failures.
+  analysis::SummarizeParams summarize_params;
+  summarize_params.max_rules = 6;
+  const auto digest = analysis::summarize_cause_rules(
+      analysis.cause, mined.prepared.db, failed, summarize_params);
+  std::printf("2) failure digest (greedy coverage):\n");
+  for (const auto& entry : digest) {
+    std::printf("   %-70s conf=%.2f covers %5llu (+%llu new, cum %.0f%%)\n",
+                analysis::render_rule(entry.rule, catalog).c_str(),
+                entry.rule.confidence,
+                static_cast<unsigned long long>(entry.matched),
+                static_cast<unsigned long long>(entry.newly_covered),
+                entry.cumulative_coverage * 100.0);
+  }
+
+  // 3. Statistical certification of the digest.
+  std::vector<core::Rule> digest_rules;
+  for (const auto& entry : digest) digest_rules.push_back(entry.rule);
+  const auto certified = core::significant_rules(
+      digest_rules, mined.mined.db_size, /*q=*/0.01);
+  std::printf("\n3) Fisher exact + Benjamini-Hochberg (q=0.01): %zu of %zu "
+              "digest rules certified\n",
+              certified.size(), digest_rules.size());
+  for (const auto& s : certified) {
+    std::printf("   p=%.2e  %s\n", s.p_value,
+                analysis::render_rule(s.rule, catalog).c_str());
+  }
+
+  // 4. Safe patterns: submissions that (almost) never fail.
+  core::NegativeRuleParams negative_params;
+  negative_params.min_confidence = 0.70;
+  negative_params.mining_min_support = workflow.mining.min_support;
+  // Exclude the success label itself — "{Terminated} => NOT Failed" is a
+  // tautology, not an insight.
+  if (const auto terminated = catalog.find("Terminated")) {
+    negative_params.excluded_antecedent_items.push_back(*terminated);
+  }
+  auto safe =
+      core::generate_negative_rules(mined.mined, failed, negative_params);
+  std::printf("\n4) safe patterns (X => NOT Failed, conf >= 0.70): %zu "
+              "found, top 5:\n",
+              safe.size());
+  for (std::size_t i = 0; i < safe.size() && i < 5; ++i) {
+    std::printf("   {%s} => NOT Failed  supp=%.2f conf=%.2f lift=%.2f\n",
+                catalog.render(safe[i].antecedent).c_str(), safe[i].support,
+                safe[i].confidence, safe[i].lift);
+  }
+
+  // 5. Waste accounting: who is burning idle GPU-hours.
+  analysis::DrilldownParams drill;
+  drill.sort = analysis::DrilldownSort::kIdleGpuHours;
+  drill.top_k = 5;
+  std::printf("\n5) top idle-GPU-hour users:\n%s",
+              analysis::render_drilldown(
+                  analysis::drilldown(trace.records, drill))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the core association-rule API on a ten-line dataset.
+//
+//   $ ./quickstart
+//
+// Walks the full Sec. III pipeline by hand — intern items, build the
+// transaction database, mine frequent itemsets with FP-Growth, generate
+// rules, and run a keyword analysis — on a toy job log small enough to
+// verify on paper.
+#include <cstdio>
+
+#include "core/item_catalog.hpp"
+#include "core/miner.hpp"
+
+int main() {
+  using namespace gpumine::core;
+
+  // 1. Intern the items (one per job attribute value).
+  ItemCatalog catalog;
+  const ItemId failed = catalog.intern("Failed");
+  const ItemId multi_gpu = catalog.intern("Multi-GPU");
+  const ItemId tf = catalog.intern("Tensorflow");
+  const ItemId short_run = catalog.intern("Runtime = Bin1");
+  const ItemId new_user = catalog.intern("New User");
+
+  // 2. One transaction per job record.
+  TransactionDb db;
+  db.add({multi_gpu, tf, failed, short_run});
+  db.add({multi_gpu, failed, short_run});
+  db.add({multi_gpu, tf, failed, new_user});
+  db.add({multi_gpu, tf});
+  db.add({tf, short_run});
+  db.add({tf});
+  db.add({tf, new_user, failed});
+  db.add({short_run});
+  db.add({tf, short_run});
+  db.add({multi_gpu, tf, short_run});
+
+  // 3. Frequent itemsets: support >= 20%, length <= 3.
+  MiningParams mining;
+  mining.min_support = 0.2;
+  mining.max_length = 3;
+  const MiningResult mined = mine_frequent(db, mining);
+  std::printf("frequent itemsets (support >= 20%%):\n");
+  for (const auto& fi : mined.itemsets) {
+    std::printf("  %-40s count=%llu\n", catalog.render(fi.items).c_str(),
+                static_cast<unsigned long long>(fi.count));
+  }
+
+  // 4. Keyword analysis for "Failed": rules with the keyword in the
+  //    consequent explain causes; in the antecedent, characteristics.
+  RuleParams rules;
+  rules.min_lift = 1.2;
+  const KeywordAnalysis analysis =
+      analyze_keyword(mined, failed, rules, PruneParams{});
+  std::printf("\ncause rules (X => ... Failed ...):\n");
+  for (const auto& r : analysis.cause) {
+    std::printf("  {%s} => {%s}  supp=%.2f conf=%.2f lift=%.2f\n",
+                catalog.render(r.antecedent).c_str(),
+                catalog.render(r.consequent).c_str(), r.support, r.confidence,
+                r.lift);
+  }
+  std::printf("\ncharacteristic rules (... Failed ... => Y):\n");
+  for (const auto& r : analysis.characteristic) {
+    std::printf("  {%s} => {%s}  supp=%.2f conf=%.2f lift=%.2f\n",
+                catalog.render(r.antecedent).c_str(),
+                catalog.render(r.consequent).c_str(), r.support, r.confidence,
+                r.lift);
+  }
+  return 0;
+}

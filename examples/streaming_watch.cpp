@@ -1,0 +1,95 @@
+// Domain example: live incident detection with the streaming miner.
+//
+//   $ ./streaming_watch
+//
+// Job records arrive as a stream. During the second half, an "incident"
+// starts: jobs scheduled on rack17 begin failing. A sliding-window miner
+// re-mines the most recent jobs on every checkpoint, so the new
+// {rack17} => {Failed} association surfaces as soon as the window fills
+// with incident-era jobs — while a whole-history miner still dilutes it.
+// A lossy counter tracks hot items over the unbounded stream with
+// bounded memory.
+#include <cstdio>
+
+#include "core/item_catalog.hpp"
+#include "core/pruning.hpp"
+#include "core/rules.hpp"
+#include "core/streaming.hpp"
+#include "trace/rng.hpp"
+
+namespace {
+
+using namespace gpumine;
+
+// One job -> one transaction. Racks r0..r19; before the incident all
+// racks are equally healthy, after it rack17 fails 70% of the time.
+core::Itemset draw_job(core::ItemCatalog& catalog, trace::Rng& rng,
+                       bool incident_active) {
+  const auto rack = "rack" + std::to_string(rng.uniform_int(0, 19));
+  const bool on_bad_rack = incident_active && rack == "rack17";
+  const bool failed = rng.bernoulli(on_bad_rack ? 0.70 : 0.08);
+  core::Itemset txn{
+      catalog.intern(rack),
+      catalog.intern(failed ? "Failed" : "Completed"),
+      catalog.intern(rng.bernoulli(0.2) ? "Multi-GPU" : "Single-GPU"),
+      catalog.intern("user" + std::to_string(rng.uniform_int(0, 4))),
+  };
+  core::canonicalize(txn);
+  return txn;
+}
+
+void report(const char* when, const core::SlidingWindowMiner& window,
+            const core::ItemCatalog& catalog, core::ItemId failed) {
+  const auto mined = window.mine();
+  core::RuleParams params;
+  params.min_lift = 1.5;
+  const auto rules = core::generate_rules(mined, params);
+  const auto cause =
+      core::filter_keyword(rules, failed, core::KeywordSide::kConsequent);
+  std::printf("%s (window of %zu jobs): %zu failure cause rules\n", when,
+              window.size(), cause.size());
+  for (std::size_t i = 0; i < cause.size() && i < 3; ++i) {
+    std::printf("  {%s} => {%s}  conf=%.2f lift=%.2f\n",
+                catalog.render(cause[i].antecedent).c_str(),
+                catalog.render(cause[i].consequent).c_str(),
+                cause[i].confidence, cause[i].lift);
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::ItemCatalog catalog;
+  const core::ItemId failed = catalog.intern("Failed");
+  trace::Rng rng(2024);
+
+  core::MiningParams mining;
+  mining.min_support = 0.02;
+  mining.max_length = 3;
+  core::SlidingWindowMiner window(/*window_size=*/2000, mining);
+  core::LossyCounter hot_items(/*epsilon=*/0.005);
+
+  constexpr std::size_t kJobs = 12000;
+  constexpr std::size_t kIncidentStart = 6000;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const auto txn = draw_job(catalog, rng, i >= kIncidentStart);
+    hot_items.push(txn);
+    window.push(txn);
+    if (i + 1 == kIncidentStart) {
+      report("before incident", window, catalog, failed);
+    }
+  }
+  report("after incident ", window, catalog, failed);
+
+  std::printf("\nlossy counter: %zu tracked items over %llu jobs "
+              "(epsilon 0.5%%); hottest:\n",
+              hot_items.tracked(),
+              static_cast<unsigned long long>(hot_items.processed()));
+  const auto hot = hot_items.frequent(0.10);
+  for (std::size_t i = 0; i < hot.size() && i < 5; ++i) {
+    std::printf("  %-12s count >= %llu\n",
+                catalog.name(hot[i].item).c_str(),
+                static_cast<unsigned long long>(hot[i].count));
+  }
+  return 0;
+}

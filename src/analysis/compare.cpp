@@ -1,0 +1,90 @@
+#include "analysis/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace gpumine::analysis {
+namespace {
+
+// Canonical text key for a rule: sorted item names on each side. Item
+// ids differ across catalogs; names are the shared vocabulary.
+std::string rule_key(const core::Rule& rule,
+                     const core::ItemCatalog& catalog) {
+  auto side = [&](const core::Itemset& items) {
+    std::vector<std::string> names;
+    names.reserve(items.size());
+    for (core::ItemId id : items) names.push_back(catalog.name(id));
+    std::sort(names.begin(), names.end());
+    std::string out;
+    for (const auto& n : names) {
+      out += n;
+      out += '\x1f';  // unit separator: cannot appear in item names
+    }
+    return out;
+  };
+  return side(rule.antecedent) + "\x1e" + side(rule.consequent);
+}
+
+}  // namespace
+
+double RuleSetComparison::jaccard_overlap() const {
+  const std::size_t uni = matched.size() + only_a.size() + only_b.size();
+  return uni == 0 ? 0.0
+                  : static_cast<double>(matched.size()) /
+                        static_cast<double>(uni);
+}
+
+double RuleSetComparison::mean_abs_conf_delta() const {
+  if (matched.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : matched) sum += std::abs(m.conf_delta);
+  return sum / static_cast<double>(matched.size());
+}
+
+double RuleSetComparison::mean_abs_lift_delta() const {
+  if (matched.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : matched) sum += std::abs(m.lift_delta);
+  return sum / static_cast<double>(matched.size());
+}
+
+RuleSetComparison compare_rule_sets(const std::vector<core::Rule>& rules_a,
+                                    const core::ItemCatalog& catalog_a,
+                                    const std::vector<core::Rule>& rules_b,
+                                    const core::ItemCatalog& catalog_b) {
+  std::unordered_map<std::string, std::vector<std::size_t>> b_by_key;
+  for (std::size_t i = 0; i < rules_b.size(); ++i) {
+    b_by_key[rule_key(rules_b[i], catalog_b)].push_back(i);
+  }
+
+  RuleSetComparison out;
+  std::vector<bool> b_used(rules_b.size(), false);
+  for (const core::Rule& a : rules_a) {
+    const std::string key = rule_key(a, catalog_a);
+    auto it = b_by_key.find(key);
+    std::size_t match = rules_b.size();
+    if (it != b_by_key.end()) {
+      for (std::size_t candidate : it->second) {
+        if (!b_used[candidate]) {
+          match = candidate;
+          break;
+        }
+      }
+    }
+    if (match == rules_b.size()) {
+      out.only_a.push_back(a);
+    } else {
+      b_used[match] = true;
+      const core::Rule& b = rules_b[match];
+      out.matched.push_back(
+          {a, b, a.confidence - b.confidence, a.lift - b.lift});
+    }
+  }
+  for (std::size_t i = 0; i < rules_b.size(); ++i) {
+    if (!b_used[i]) out.only_b.push_back(rules_b[i]);
+  }
+  return out;
+}
+
+}  // namespace gpumine::analysis

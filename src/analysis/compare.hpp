@@ -1,0 +1,45 @@
+// Cross-trace rule-set comparison.
+//
+// The paper argues (Fig. 2 discussion) that rule metrics are not
+// comparable across systems and that the workflow's value is finding
+// *system-specific* insights. This module makes that claim measurable:
+// given two rule sets from different traces (each with its own item
+// vocabulary), it matches rules by their rendered item names and reports
+// the overlap plus the metric divergence on shared rules. A tiny overlap
+// with large metric deltas is exactly the paper's point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/item_catalog.hpp"
+#include "core/rules.hpp"
+
+namespace gpumine::analysis {
+
+struct MatchedRule {
+  core::Rule a;
+  core::Rule b;
+  double conf_delta;  // a.confidence - b.confidence
+  double lift_delta;  // a.lift - b.lift
+};
+
+struct RuleSetComparison {
+  std::vector<MatchedRule> matched;   // same antecedent & consequent items
+  std::vector<core::Rule> only_a;
+  std::vector<core::Rule> only_b;
+
+  [[nodiscard]] double jaccard_overlap() const;  // |matched| / |union|
+  [[nodiscard]] double mean_abs_conf_delta() const;
+  [[nodiscard]] double mean_abs_lift_delta() const;
+};
+
+/// Matches by the sorted rendered item names of each side, so the two
+/// rule sets may come from different catalogs (different traces).
+/// Duplicate rules within one set (same rendered key) are matched
+/// first-to-first; extras land in only_a / only_b.
+[[nodiscard]] RuleSetComparison compare_rule_sets(
+    const std::vector<core::Rule>& rules_a, const core::ItemCatalog& catalog_a,
+    const std::vector<core::Rule>& rules_b, const core::ItemCatalog& catalog_b);
+
+}  // namespace gpumine::analysis

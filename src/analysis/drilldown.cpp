@@ -1,0 +1,161 @@
+#include "analysis/drilldown.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::analysis {
+
+void DrilldownParams::validate() const {
+  GPUMINE_CHECK_ARG(top_k >= 1, "top_k must be >= 1");
+}
+
+std::vector<PrincipalStats> drilldown(
+    std::span<const trace::JobRecord> records,
+    const DrilldownParams& params) {
+  params.validate();
+  std::unordered_map<std::string, PrincipalStats> by_principal;
+  for (const auto& r : records) {
+    const std::string& key =
+        params.key == DrilldownKey::kUser ? r.user : r.group;
+    if (key.empty()) continue;
+    PrincipalStats& s = by_principal[key];
+    if (s.principal.empty()) s.principal = key;
+    ++s.jobs;
+    const double hours =
+        static_cast<double>(r.num_gpus) * r.runtime_s / 3600.0;
+    s.gpu_hours += hours;
+    const bool zero_sm = r.sm_util != trace::kUnset && r.sm_util < 0.5;
+    if (zero_sm) {
+      ++s.zero_sm;
+      s.idle_gpu_hours += hours;
+    }
+    if (r.status == trace::ExitStatus::kFailed ||
+        r.status == trace::ExitStatus::kTimeout) {
+      ++s.failed;
+      s.failed_gpu_hours += hours;
+    }
+    if (r.status == trace::ExitStatus::kKilled) ++s.killed;
+  }
+
+  std::vector<PrincipalStats> out;
+  out.reserve(by_principal.size());
+  for (auto& [key, stats] : by_principal) {
+    if (params.sort == DrilldownSort::kFailureRate &&
+        stats.jobs < params.min_jobs_for_rates) {
+      continue;
+    }
+    out.push_back(std::move(stats));
+  }
+
+  const auto metric = [&](const PrincipalStats& s) {
+    switch (params.sort) {
+      case DrilldownSort::kIdleGpuHours:
+        return s.idle_gpu_hours;
+      case DrilldownSort::kFailedGpuHours:
+        return s.failed_gpu_hours;
+      case DrilldownSort::kGpuHours:
+        return s.gpu_hours;
+      case DrilldownSort::kFailureRate:
+        return s.failure_rate();
+    }
+    return 0.0;
+  };
+  std::sort(out.begin(), out.end(),
+            [&](const PrincipalStats& a, const PrincipalStats& b) {
+              const double ma = metric(a);
+              const double mb = metric(b);
+              if (ma != mb) return ma > mb;
+              return a.principal < b.principal;
+            });
+  if (out.size() > params.top_k) out.resize(params.top_k);
+  return out;
+}
+
+Result<std::vector<PrincipalStats>> drilldown_from_table(
+    const prep::Table& table, const TableDrilldownSpec& spec,
+    const DrilldownParams& params) {
+  if (spec.principal_column.empty() ||
+      !table.has_column(spec.principal_column)) {
+    return Error{spec.principal_column, "principal column not in table"};
+  }
+  if (spec.runtime_column.empty() || !table.has_column(spec.runtime_column)) {
+    return Error{spec.runtime_column, "runtime column not in table"};
+  }
+  if (table.is_numeric(spec.principal_column)) {
+    return Error{spec.principal_column, "principal column must be categorical"};
+  }
+  if (!table.is_numeric(spec.runtime_column)) {
+    return Error{spec.runtime_column, "runtime column must be numeric"};
+  }
+  const auto numeric_or_null =
+      [&](const std::string& name) -> Result<const prep::NumericColumn*> {
+    if (name.empty() || !table.has_column(name)) return nullptr;
+    if (!table.is_numeric(name)) {
+      return Error{name, "column must be numeric"};
+    }
+    return &table.numeric(name);
+  };
+  auto gpus_result = numeric_or_null(spec.gpus_column);
+  if (!gpus_result.ok()) return gpus_result.error();
+  auto sm_result = numeric_or_null(spec.sm_util_column);
+  if (!sm_result.ok()) return sm_result.error();
+  const prep::NumericColumn* gpus = gpus_result.value();
+  const prep::NumericColumn* sm_util = sm_result.value();
+  const prep::CategoricalColumn* status = nullptr;
+  if (!spec.status_column.empty() && table.has_column(spec.status_column)) {
+    if (table.is_numeric(spec.status_column)) {
+      return Error{spec.status_column, "status column must be categorical"};
+    }
+    status = &table.categorical(spec.status_column);
+  }
+  const auto& principal = table.categorical(spec.principal_column);
+  const auto& runtime = table.numeric(spec.runtime_column);
+
+  std::vector<trace::JobRecord> records;
+  records.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    if (principal.is_missing(r) || runtime.is_missing(r)) continue;
+    trace::JobRecord record;
+    record.user = principal.label(r);
+    record.group = record.user;  // same key either way
+    record.runtime_s = runtime.values[r];
+    record.num_gpus = gpus != nullptr && !gpus->is_missing(r)
+                          ? static_cast<int>(gpus->values[r])
+                          : 1;
+    record.sm_util = sm_util != nullptr && !sm_util->is_missing(r)
+                         ? sm_util->values[r]
+                         : trace::kUnset;
+    record.status = trace::ExitStatus::kCompleted;
+    if (status != nullptr && !status->is_missing(r)) {
+      if (status->label(r) == spec.failed_label) {
+        record.status = trace::ExitStatus::kFailed;
+      } else if (status->label(r) == spec.killed_label) {
+        record.status = trace::ExitStatus::kKilled;
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return drilldown(records, params);
+}
+
+std::string render_drilldown(const std::vector<PrincipalStats>& stats) {
+  std::string out =
+      "principal        jobs  failed  killed  zeroSM   gpu-h   idle-h  "
+      "fail-h  fail%  idle%\n";
+  char buf[256];
+  for (const auto& s : stats) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-15s %5zu  %6zu  %6zu  %6zu  %7.0f  %7.0f %7.0f  %5.1f  "
+                  "%5.1f\n",
+                  s.principal.c_str(), s.jobs, s.failed, s.killed, s.zero_sm,
+                  s.gpu_hours, s.idle_gpu_hours, s.failed_gpu_hours,
+                  100.0 * s.failure_rate(), 100.0 * s.idle_fraction());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,92 @@
+// Per-principal drill-down and waste accounting.
+//
+// Rules say *what* associates with underutilization and failure; the
+// drill-down says *who* and *how much*: per user (or job group), how
+// many GPU-hours were consumed, how many of them on jobs whose SM
+// utilization rounded to zero, and how many on jobs that failed. This is
+// the quantitative backing for the paper's operational takeaways
+// ("focus on the high failure rate of users and provide corresponding
+// support", Sec. IV-C) — the rules point at "Freq User", the drill-down
+// names and sizes the offender.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "prep/table.hpp"
+#include "trace/job.hpp"
+
+namespace gpumine::analysis {
+
+struct PrincipalStats {
+  std::string principal;
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  std::size_t killed = 0;
+  std::size_t zero_sm = 0;        // jobs with mean SM util < 0.5%
+  double gpu_hours = 0.0;         // sum over jobs of gpus * runtime
+  double idle_gpu_hours = 0.0;    // restricted to zero-SM jobs
+  double failed_gpu_hours = 0.0;  // restricted to failed jobs
+
+  [[nodiscard]] double failure_rate() const {
+    return jobs == 0 ? 0.0
+                     : static_cast<double>(failed) /
+                           static_cast<double>(jobs);
+  }
+  [[nodiscard]] double idle_fraction() const {
+    return gpu_hours == 0.0 ? 0.0 : idle_gpu_hours / gpu_hours;
+  }
+};
+
+enum class DrilldownKey { kUser, kGroup };
+enum class DrilldownSort {
+  kIdleGpuHours,    // who wastes the most accelerator time
+  kFailedGpuHours,  // who burns the most time on failing jobs
+  kGpuHours,        // biggest consumers
+  kFailureRate,     // least reliable (among principals with >= 20 jobs)
+};
+
+struct DrilldownParams {
+  DrilldownKey key = DrilldownKey::kUser;
+  DrilldownSort sort = DrilldownSort::kIdleGpuHours;
+  std::size_t top_k = 10;
+  /// Principals with fewer jobs are excluded from kFailureRate ranking
+  /// (a 1-job user with 1 failure is not a hotspot).
+  std::size_t min_jobs_for_rates = 20;
+
+  void validate() const;
+};
+
+/// Aggregates `records` by user or group and returns the top-k by the
+/// chosen criterion. Deterministic: ties broken by principal name.
+[[nodiscard]] std::vector<PrincipalStats> drilldown(
+    std::span<const trace::JobRecord> records,
+    const DrilldownParams& params = {});
+
+/// Fixed-width terminal table.
+[[nodiscard]] std::string render_drilldown(
+    const std::vector<PrincipalStats>& stats);
+
+/// Column mapping for drilling into a raw trace table (e.g. a CSV
+/// export). Columns set to "" are treated as absent: missing gpus ->
+/// one GPU per job; missing sm-util -> no idle accounting; missing
+/// status -> no failure accounting.
+struct TableDrilldownSpec {
+  std::string principal_column = "User";
+  std::string runtime_column = "Runtime";  // seconds
+  std::string gpus_column;                 // GPU count per job
+  std::string sm_util_column = "SM Util";  // mean %, 0 = idle
+  std::string status_column = "Status";
+  std::string failed_label = "Failed";
+  std::string killed_label = "Killed";
+};
+
+/// Drill-down straight from a table. Returns an Error when a named
+/// column is missing or has the wrong type.
+[[nodiscard]] Result<std::vector<PrincipalStats>> drilldown_from_table(
+    const prep::Table& table, const TableDrilldownSpec& spec,
+    const DrilldownParams& params = {});
+
+}  // namespace gpumine::analysis

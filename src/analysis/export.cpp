@@ -1,0 +1,188 @@
+#include "analysis/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpumine::analysis {
+namespace {
+
+std::string fmt(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string join_items(const core::Itemset& items,
+                       const core::ItemCatalog& catalog,
+                       const char* separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += catalog.name(items[i]);
+  }
+  return out;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+void append_csv_rows(std::string& out, const std::vector<core::Rule>& rules,
+                     const char* kind, const core::ItemCatalog& catalog) {
+  for (const core::Rule& r : rules) {
+    out += kind;
+    out += ',';
+    out += csv_field(join_items(r.antecedent, catalog, " + "));
+    out += ',';
+    out += csv_field(join_items(r.consequent, catalog, " + "));
+    out += ',';
+    out += fmt(r.support);
+    out += ',';
+    out += fmt(r.confidence);
+    out += ',';
+    out += fmt(r.lift);
+    out += ',';
+    out += fmt(r.leverage);
+    out += ',';
+    out += fmt(r.conviction);
+    out += '\n';
+  }
+}
+
+void append_json_items(std::string& out, const core::Itemset& items,
+                       const core::ItemCatalog& catalog) {
+  out += '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(catalog.name(items[i]));
+    out += '"';
+  }
+  out += ']';
+}
+
+void append_json_rules(std::string& out, const std::vector<core::Rule>& rules,
+                       const core::ItemCatalog& catalog) {
+  out += '[';
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ',';
+    const core::Rule& r = rules[i];
+    out += "{\"antecedent\":";
+    append_json_items(out, r.antecedent, catalog);
+    out += ",\"consequent\":";
+    append_json_items(out, r.consequent, catalog);
+    out += ",\"support\":" + fmt(r.support);
+    out += ",\"confidence\":" + fmt(r.confidence);
+    out += ",\"lift\":" + fmt(r.lift);
+    out += '}';
+  }
+  out += ']';
+}
+
+std::string md_escape(std::string s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '|') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string rules_to_csv(const core::KeywordAnalysis& analysis,
+                         const core::ItemCatalog& catalog) {
+  std::string out =
+      "kind,antecedent,consequent,support,confidence,lift,leverage,"
+      "conviction\n";
+  append_csv_rows(out, analysis.cause, "C", catalog);
+  append_csv_rows(out, analysis.characteristic, "A", catalog);
+  return out;
+}
+
+std::string rules_to_json(const core::KeywordAnalysis& analysis,
+                          const core::ItemCatalog& catalog) {
+  std::string out = "{\"keyword\":\"";
+  out += json_escape(catalog.name(analysis.keyword));
+  out += "\",\"cause\":";
+  append_json_rules(out, analysis.cause, catalog);
+  out += ",\"characteristic\":";
+  append_json_rules(out, analysis.characteristic, catalog);
+  out += "}";
+  return out;
+}
+
+std::string rules_to_markdown(const core::KeywordAnalysis& analysis,
+                              const core::ItemCatalog& catalog,
+                              std::size_t max_rows_per_side) {
+  std::string out = "| | Antecedent | Consequent | Supp. | Conf. | Lift |\n";
+  out += "|---|---|---|---|---|---|\n";
+  const auto emit = [&](const std::vector<core::Rule>& rules,
+                        const char* prefix) {
+    const std::size_t n = std::min(rules.size(), max_rows_per_side);
+    for (std::size_t i = 0; i < n; ++i) {
+      const core::Rule& r = rules[i];
+      out += "| ";
+      out += prefix + std::to_string(i + 1);
+      out += " | " + md_escape(join_items(r.antecedent, catalog, ", "));
+      out += " | " + md_escape(join_items(r.consequent, catalog, ", "));
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), " | %.2f | %.2f | %.2f |\n", r.support,
+                    r.confidence, r.lift);
+      out += buf;
+    }
+  };
+  emit(analysis.cause, "C");
+  emit(analysis.characteristic, "A");
+  return out;
+}
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,34 @@
+// Small descriptive-statistics toolkit backing the figure benches
+// (CDFs for Fig. 4, box stats for Fig. 2, shares for Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpumine::analysis {
+
+/// Linear-interpolated quantile of unsorted data, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Five-number summary for a box plot.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] BoxStats box_stats(std::span<const double> values);
+
+/// Empirical CDF evaluated at `points` evenly spaced values of the data
+/// range (plus the exact min and max). Returns (x, P[X <= x]) pairs.
+[[nodiscard]] std::vector<std::pair<double, double>> cdf(
+    std::span<const double> values, std::size_t points = 32);
+
+/// Fraction of values <= x.
+[[nodiscard]] double cdf_at(std::span<const double> values, double x);
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,92 @@
+#include "analysis/summarize.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::analysis {
+
+void SummarizeParams::validate() const {
+  GPUMINE_CHECK_ARG(max_rules >= 1, "max_rules must be >= 1");
+  GPUMINE_CHECK_ARG(target_coverage > 0.0 && target_coverage <= 1.0,
+                    "target_coverage must be in (0, 1]");
+}
+
+std::vector<SummaryEntry> summarize_cause_rules(
+    const std::vector<core::Rule>& rules, const core::TransactionDb& db,
+    core::ItemId keyword, const SummarizeParams& params) {
+  params.validate();
+
+  // Index the keyword transactions once.
+  std::vector<std::size_t> keyword_txns;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    if (core::contains(db[t], keyword)) keyword_txns.push_back(t);
+  }
+  std::vector<SummaryEntry> summary;
+  if (keyword_txns.empty()) return summary;
+
+  // Candidate rules with their match sets over the keyword transactions.
+  struct Candidate {
+    const core::Rule* rule;
+    std::vector<std::uint32_t> matches;  // indices into keyword_txns
+  };
+  std::vector<Candidate> candidates;
+  for (const core::Rule& r : rules) {
+    if (!core::contains(r.consequent, keyword)) continue;
+    Candidate c{&r, {}};
+    for (std::uint32_t i = 0; i < keyword_txns.size(); ++i) {
+      if (core::is_subset(r.antecedent, db[keyword_txns[i]])) {
+        c.matches.push_back(i);
+      }
+    }
+    if (!c.matches.empty()) candidates.push_back(std::move(c));
+  }
+
+  std::vector<bool> covered(keyword_txns.size(), false);
+  std::uint64_t total_covered = 0;
+  const auto total = static_cast<double>(keyword_txns.size());
+
+  while (summary.size() < params.max_rules &&
+         static_cast<double>(total_covered) / total <
+             params.target_coverage) {
+    // Pick the candidate adding the most new coverage; ties by lift,
+    // then the deterministic rule order.
+    std::size_t best = candidates.size();
+    std::uint64_t best_new = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      std::uint64_t fresh = 0;
+      for (std::uint32_t m : candidates[i].matches) {
+        if (!covered[m]) ++fresh;
+      }
+      const bool better =
+          fresh > best_new ||
+          (fresh == best_new && best < candidates.size() && fresh > 0 &&
+           candidates[i].rule->lift > candidates[best].rule->lift);
+      if (better) {
+        best = i;
+        best_new = fresh;
+      }
+    }
+    if (best == candidates.size() || best_new < params.min_new_coverage) {
+      break;  // nothing useful left
+    }
+
+    SummaryEntry entry;
+    entry.rule = *candidates[best].rule;
+    entry.matched = candidates[best].matches.size();
+    entry.newly_covered = best_new;
+    for (std::uint32_t m : candidates[best].matches) {
+      if (!covered[m]) {
+        covered[m] = true;
+        ++total_covered;
+      }
+    }
+    entry.cumulative_coverage = static_cast<double>(total_covered) / total;
+    summary.push_back(std::move(entry));
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(best));
+  }
+  return summary;
+}
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,50 @@
+// Rule summarization: a small, diverse rule set for human consumption.
+//
+// Even after the Sec. III-D pruning, a keyword analysis can keep
+// thousands of rules (PAI: ~2k) — the paper's tables show a hand-picked
+// dozen. This module automates the picking with a greedy weighted
+// set-cover: repeatedly choose the rule whose antecedent matches the
+// most keyword transactions not yet covered by an already-chosen rule,
+// breaking ties by lift. The result reads like the paper's tables: a
+// handful of rules that jointly explain most of the phenomenon, each
+// adding new coverage instead of restating the previous row.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/itemset.hpp"
+#include "core/rules.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::analysis {
+
+struct SummaryEntry {
+  core::Rule rule;
+  /// Keyword transactions matched by this rule's antecedent.
+  std::uint64_t matched = 0;
+  /// Of those, how many no earlier summary rule had covered.
+  std::uint64_t newly_covered = 0;
+  /// Running fraction of all keyword transactions covered so far.
+  double cumulative_coverage = 0.0;
+};
+
+struct SummarizeParams {
+  std::size_t max_rules = 8;
+  /// Stop early once this fraction of keyword transactions is covered.
+  double target_coverage = 0.95;
+  /// Skip rules that add fewer than this many new transactions.
+  std::uint64_t min_new_coverage = 1;
+
+  void validate() const;
+};
+
+/// Greedy cover of the transactions containing `keyword` by cause-rule
+/// antecedents. `rules` should be cause rules for the keyword (rules
+/// whose consequent lacks the keyword are ignored); `db` is the encoded
+/// database the rules came from.
+[[nodiscard]] std::vector<SummaryEntry> summarize_cause_rules(
+    const std::vector<core::Rule>& rules, const core::TransactionDb& db,
+    core::ItemId keyword, const SummarizeParams& params = {});
+
+}  // namespace gpumine::analysis

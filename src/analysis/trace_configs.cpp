@@ -1,0 +1,103 @@
+#include "analysis/trace_configs.hpp"
+
+namespace gpumine::analysis {
+namespace {
+
+constexpr double kDisabled = 2.0;  // threshold > 1 turns the special bin off
+
+prep::BinningParams plain_bins() {
+  prep::BinningParams p;
+  p.zero_mass_threshold = kDisabled;
+  p.spike_mass_threshold = kDisabled;
+  return p;
+}
+
+prep::BinningParams zero_bins(std::string label, double threshold = 0.25) {
+  prep::BinningParams p;
+  p.zero_label = std::move(label);
+  p.zero_mass_threshold = threshold;
+  p.spike_mass_threshold = kDisabled;
+  return p;
+}
+
+prep::BinningParams spike_bins(double threshold = 0.35) {
+  prep::BinningParams p;
+  p.zero_mass_threshold = kDisabled;
+  p.spike_mass_threshold = threshold;  // "Std" request detection
+  return p;
+}
+
+prep::ShareGroupingParams user_grouping() {
+  prep::ShareGroupingParams g;
+  g.top_label = "Freq User";
+  g.middle_label = "Regular User";
+  g.bottom_label = "New User";
+  return g;
+}
+
+WorkflowConfig pai_base() {
+  WorkflowConfig c;
+  c.binnings = {
+      {"GPU Request", plain_bins()},
+      {"CPU Request", spike_bins()},
+      {"Mem Request", spike_bins()},
+      {"Queue", plain_bins()},
+      {"Runtime", plain_bins()},
+      {"Memory Used", plain_bins()},
+      {"CPU Util", zero_bins("Bin0", 0.05)},
+      {"SM Util", zero_bins("0%")},
+      {"GMem Used", zero_bins("0GB")},
+  };
+  prep::ShareGroupingParams groups;
+  groups.top_label = "Freq Group";
+  groups.middle_label = "Regular Group";
+  groups.bottom_label = "Rare Group";
+  c.groupings = {{"User", user_grouping()}, {"Group", groups}};
+  c.encoder.bare_label_columns = {"User", "Group",  "Framework",
+                                  "Model", "Tasks", "Status"};
+  return c;
+}
+
+}  // namespace
+
+WorkflowConfig pai_config() {
+  WorkflowConfig c = pai_base();
+  c.drop_columns = {"Model"};  // sparse label; studied separately
+  return c;
+}
+
+WorkflowConfig pai_model_config() {
+  WorkflowConfig c = pai_base();
+  c.require_present = "Model";  // Sec. IV-D: NaN-model rows filtered out
+  return c;
+}
+
+WorkflowConfig supercloud_config() {
+  WorkflowConfig c;
+  c.binnings = {
+      {"Runtime", plain_bins()},     {"CPU Util", plain_bins()},
+      {"SM Util", zero_bins("0%", 0.05)}, {"SM Util Var", plain_bins()},
+      {"GMem Util", plain_bins()},   {"GMem Util Var", plain_bins()},
+      {"GMem Used", plain_bins()},   {"GPU Power", plain_bins()},
+  };
+  c.groupings = {{"User", user_grouping()}};
+  c.encoder.bare_label_columns = {"User", "Status"};
+  return c;
+}
+
+WorkflowConfig philly_config() {
+  WorkflowConfig c;
+  c.binnings = {
+      {"Runtime", plain_bins()},
+      {"CPU Util", plain_bins()},
+      {"SM Util", zero_bins("0%")},
+      {"Min SM Util", zero_bins("0%")},
+      {"Max SM Util", zero_bins("0%")},
+  };
+  c.groupings = {{"User", user_grouping()}};
+  c.encoder.bare_label_columns = {"User", "GPU Count", "GPU Mem",
+                                  "Num Attempts", "Status"};
+  return c;
+}
+
+}  // namespace gpumine::analysis

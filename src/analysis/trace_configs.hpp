@@ -1,0 +1,32 @@
+// Canonical workflow configurations for the three studied traces.
+//
+// These encode the paper's preprocessing choices (Sec. III-E) and the
+// shared mining thresholds (min support 5%, max itemset length 5, min
+// lift 1.5, C_lift = C_supp = 1.5 — Secs. III-C/D). Column names match
+// the synthetic generators; applying a config to a table that lacks a
+// column skips that column, so the configs also work on user-supplied
+// CSV traces with a subset of features.
+#pragma once
+
+#include "analysis/workflow.hpp"
+
+namespace gpumine::analysis {
+
+/// PAI: bins request/usage features, groups users and job groups by
+/// activity share, detects the "Std" CPU/memory request spikes, and drops
+/// the sparse Model column (most jobs are unlabeled).
+[[nodiscard]] WorkflowConfig pai_config();
+
+/// PAI restricted to rows with a model-type label (the Table VIII
+/// PAI3/PAI4 study): keeps the Model column and requires it present.
+[[nodiscard]] WorkflowConfig pai_model_config();
+
+/// SuperCloud: fine-grained GPU metrics (utilization variance, memory
+/// bandwidth, power) binned into quartiles; users grouped by share.
+[[nodiscard]] WorkflowConfig supercloud_config();
+
+/// Philly: mean/min/max SM utilization with dedicated 0% bins, retry
+/// counter and GPU memory-size labels kept bare.
+[[nodiscard]] WorkflowConfig philly_config();
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,54 @@
+#include "analysis/validate.hpp"
+
+#include "common/ensure.hpp"
+
+namespace gpumine::analysis {
+
+ValidationSummary validate_rules(const std::vector<core::Rule>& rules,
+                                 const core::TransactionDb& test_db,
+                                 double min_test_lift) {
+  GPUMINE_CHECK_ARG(min_test_lift >= 0.0,
+                    "min_test_lift must be non-negative");
+  ValidationSummary summary;
+  if (test_db.empty()) return summary;
+
+  for (const core::Rule& r : rules) {
+    // One scan per rule over the test db; rule lists after pruning are
+    // small, so this stays linear in |rules| * |test_db|.
+    std::uint64_t sx = 0;
+    std::uint64_t sy = 0;
+    std::uint64_t joint = 0;
+    for (std::size_t t = 0; t < test_db.size(); ++t) {
+      const auto txn = test_db[t];
+      const bool has_x = core::is_subset(r.antecedent, txn);
+      const bool has_y = core::is_subset(r.consequent, txn);
+      sx += has_x;
+      sy += has_y;
+      joint += has_x && has_y;
+    }
+    if (sx == 0 || sy == 0) continue;  // untestable on this data
+
+    ValidatedRule v;
+    v.train = r;
+    v.test = core::make_rule(r.antecedent, r.consequent, joint, sx, sy,
+                             test_db.size());
+    v.conf_shrinkage = r.confidence - v.test.confidence;
+    v.lift_shrinkage = r.lift - v.test.lift;
+    v.survives = v.test.lift + 1e-12 >= min_test_lift;
+    summary.rules.push_back(std::move(v));
+  }
+
+  for (const auto& v : summary.rules) {
+    summary.survivors += v.survives ? 1 : 0;
+    summary.mean_conf_shrinkage += v.conf_shrinkage;
+    summary.mean_lift_shrinkage += v.lift_shrinkage;
+  }
+  if (!summary.rules.empty()) {
+    const auto n = static_cast<double>(summary.rules.size());
+    summary.mean_conf_shrinkage /= n;
+    summary.mean_lift_shrinkage /= n;
+  }
+  return summary;
+}
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,45 @@
+// Hold-out validation of mined rules.
+//
+// A rule's confidence and lift are estimates from the trace they were
+// mined on; before acting on a rule (or feeding it to the classifier) an
+// operator wants to know how much of its strength is overfit. This
+// module re-measures each rule's metrics on an independent database
+// (another time window, another seed) and reports the shrinkage. Rules
+// whose test-set lift collapses below the mining threshold are flagged —
+// the empirical complement to the Fisher test in core/significance.hpp.
+#pragma once
+
+#include <vector>
+
+#include "core/item_catalog.hpp"
+#include "core/rules.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::analysis {
+
+struct ValidatedRule {
+  core::Rule train;   // metrics as mined
+  core::Rule test;    // same items, metrics recomputed on the test db
+  double conf_shrinkage;  // train.confidence - test.confidence
+  double lift_shrinkage;  // train.lift - test.lift
+  bool survives;          // test lift still >= the given floor
+};
+
+struct ValidationSummary {
+  std::vector<ValidatedRule> rules;
+  std::size_t survivors = 0;
+  double mean_conf_shrinkage = 0.0;
+  double mean_lift_shrinkage = 0.0;
+};
+
+/// Re-measures `rules` (mined on some training trace, items from
+/// `catalog`) against `test_db`, whose transactions must be encoded in
+/// the SAME catalog (remap first if they are not — see the
+/// ext_failure_prediction bench for the remap idiom). Rules whose
+/// antecedent never occurs in the test database are dropped (their test
+/// confidence is undefined).
+[[nodiscard]] ValidationSummary validate_rules(
+    const std::vector<core::Rule>& rules, const core::TransactionDb& test_db,
+    double min_test_lift = 1.5);
+
+}  // namespace gpumine::analysis

@@ -1,0 +1,63 @@
+#include "analysis/workflow.hpp"
+
+#include "common/ensure.hpp"
+
+namespace gpumine::analysis {
+
+PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
+  if (config.require_present.has_value()) {
+    const auto& col = table.categorical(*config.require_present);
+    std::vector<bool> keep(table.num_rows());
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+      keep[r] = !col.is_missing(r);
+    }
+    table = table.filter_rows(keep);
+  }
+
+  for (const std::string& name : config.drop_columns) {
+    if (table.has_column(name)) table.drop_column(name);
+  }
+
+  PreparedTrace out;
+  for (const ColumnBinning& b : config.binnings) {
+    if (!table.has_column(b.column)) continue;  // trace without the feature
+    out.bin_specs.emplace_back(b.column,
+                               prep::bin_column(table, b.column, b.params));
+  }
+  for (const ColumnGrouping& g : config.groupings) {
+    if (!table.has_column(g.column)) continue;
+    prep::group_column_by_share(table, g.column, g.params);
+  }
+  for (const ColumnMerge& m : config.merges) {
+    if (!table.has_column(m.column)) continue;
+    prep::merge_column_categories(table, m.column, m.mapping, m.fallback);
+  }
+
+  prep::EncodeResult encoded = prep::encode(table, config.encoder);
+  out.db = std::move(encoded.db);
+  out.catalog = std::move(encoded.catalog);
+  out.dropped_items = std::move(encoded.dropped_items);
+  return out;
+}
+
+MinedTrace mine(prep::Table table, const WorkflowConfig& config) {
+  MinedTrace out;
+  out.prepared = prepare(std::move(table), config);
+  out.mined =
+      core::mine_frequent(out.prepared.db, config.mining, config.algorithm);
+  return out;
+}
+
+core::KeywordAnalysis analyze(const MinedTrace& trace,
+                              const std::string& keyword_item,
+                              const WorkflowConfig& config) {
+  const auto keyword = trace.prepared.catalog.find(keyword_item);
+  GPUMINE_CHECK_ARG(keyword.has_value(),
+                    "keyword item '" + keyword_item +
+                        "' not in the catalog (misspelled, or dropped by "
+                        "the dominance filter)");
+  return core::analyze_keyword(trace.mined, *keyword, config.rules,
+                               config.pruning);
+}
+
+}  // namespace gpumine::analysis

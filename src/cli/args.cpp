@@ -1,0 +1,89 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace gpumine::cli {
+
+Result<Args> Args::parse(const std::vector<std::string>& raw) {
+  Args args;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& token = raw[i];
+    if (token.rfind("--", 0) != 0) {
+      args.positionals_.push_back(token);
+      continue;
+    }
+    std::string name = token.substr(2);
+    if (name.empty()) {
+      return Error{"args", "bare '--' is not a valid flag"};
+    }
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      args.flags_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    if (i + 1 >= raw.size() || raw[i + 1].rfind("--", 0) == 0) {
+      // Valueless switch.
+      args.flags_[name] = "";
+      continue;
+    }
+    args.flags_[name] = raw[++i];
+  }
+  return args;
+}
+
+bool Args::has(const std::string& name) const {
+  queried_.insert(name);
+  return flags_.contains(name);
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  queried_.insert(name);
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name, std::string fallback) const {
+  auto value = get(name);
+  return value.has_value() ? *value : std::move(fallback);
+}
+
+Result<double> Args::get_double(const std::string& name,
+                                double fallback) const {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  double out = 0.0;
+  const char* begin = value->data();
+  const char* end = begin + value->size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    return Error{"--" + name, "expected a number, got '" + *value + "'"};
+  }
+  return out;
+}
+
+Result<std::uint64_t> Args::get_uint(const std::string& name,
+                                     std::uint64_t fallback) const {
+  const auto value = get(name);
+  if (!value.has_value()) return fallback;
+  std::uint64_t out = 0;
+  const char* begin = value->data();
+  const char* end = begin + value->size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr != end) {
+    return Error{"--" + name,
+                 "expected a non-negative integer, got '" + *value + "'"};
+  }
+  return out;
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    if (!queried_.contains(name)) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gpumine::cli

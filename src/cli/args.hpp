@@ -1,0 +1,52 @@
+// Minimal command-line argument parser for the gpumine tool.
+//
+// Flags are "--name value" or "--name=value"; everything else is
+// positional. Commands read flags through typed getters with defaults;
+// `check_unused` turns typos into errors instead of silently ignored
+// options (queried names are tracked).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace gpumine::cli {
+
+class Args {
+ public:
+  /// Parses raw arguments (no program name). Returns an Error for a
+  /// malformed flag ("--" with no name, or a flag missing its value).
+  static Result<Args> parse(const std::vector<std::string>& raw);
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// True if the flag was given (with or without value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   std::string fallback) const;
+  /// Numeric getters return an Error for unparsable values.
+  [[nodiscard]] Result<double> get_double(const std::string& name,
+                                          double fallback) const;
+  [[nodiscard]] Result<std::uint64_t> get_uint(const std::string& name,
+                                               std::uint64_t fallback) const;
+
+  /// Names given on the command line but never queried; call after the
+  /// command has pulled all its flags.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+  mutable std::set<std::string> queried_;
+};
+
+}  // namespace gpumine::cli

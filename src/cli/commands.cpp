@@ -1,0 +1,653 @@
+#include "cli/commands.hpp"
+
+#include "analysis/compare.hpp"
+#include "analysis/drilldown.hpp"
+#include "analysis/summarize.hpp"
+#include "core/negative.hpp"
+#include "core/significance.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "analysis/workflow.hpp"
+#include "cli/args.hpp"
+#include "analysis/classifier.hpp"
+#include "analysis/export.hpp"
+#include "core/closed.hpp"
+#include "core/serialize.hpp"
+#include "prep/csv.hpp"
+#include "trace/rng.hpp"
+#include "synth/pai.hpp"
+#include "synth/philly.hpp"
+#include "synth/supercloud.hpp"
+
+namespace gpumine::cli {
+namespace {
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream stream(csv);
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+// Reports unknown flags; returns false (and sets the exit path) on any.
+bool reject_unused(const Args& args, std::ostream& err) {
+  const auto unused = args.unused();
+  for (const auto& name : unused) {
+    err << "unknown flag --" << name << "\n";
+  }
+  return unused.empty();
+}
+
+// Shared CSV -> WorkflowConfig assembly for `itemsets` and `mine`.
+struct LoadedTrace {
+  prep::Table table;
+  analysis::WorkflowConfig config;
+};
+
+Result<LoadedTrace> load_trace(const Args& args) {
+  const auto path = args.get("csv");
+  if (!path.has_value() || path->empty()) {
+    return Error{"--csv", "required: path to the trace CSV"};
+  }
+  prep::CsvParams csv;
+  csv.force_categorical = split_list(args.get_or("categorical", "job_id"));
+  auto parsed = prep::read_csv_file(*path, csv);
+  if (!parsed.ok()) return parsed.error();
+
+  LoadedTrace loaded{std::move(parsed).value(), {}};
+  analysis::WorkflowConfig& config = loaded.config;
+
+  const auto min_support = args.get_double("min-support", 0.05);
+  if (!min_support.ok()) return min_support.error();
+  const auto max_length = args.get_uint("max-length", 5);
+  if (!max_length.ok()) return max_length.error();
+  const auto min_lift = args.get_double("min-lift", 1.5);
+  if (!min_lift.ok()) return min_lift.error();
+  const auto c_lift = args.get_double("c-lift", 1.5);
+  if (!c_lift.ok()) return c_lift.error();
+  const auto c_supp = args.get_double("c-supp", 1.5);
+  if (!c_supp.ok()) return c_supp.error();
+  config.mining.min_support = min_support.value();
+  config.mining.max_length = static_cast<std::size_t>(max_length.value());
+  config.rules.min_lift = min_lift.value();
+  config.pruning.c_lift = c_lift.value();
+  config.pruning.c_supp = c_supp.value();
+
+  const std::string algorithm = args.get_or("algorithm", "fpgrowth");
+  if (algorithm == "fpgrowth") {
+    config.algorithm = core::Algorithm::kFpGrowth;
+  } else if (algorithm == "apriori") {
+    config.algorithm = core::Algorithm::kApriori;
+  } else if (algorithm == "eclat") {
+    config.algorithm = core::Algorithm::kEclat;
+  } else {
+    return Error{"--algorithm", "unknown algorithm '" + algorithm + "'"};
+  }
+
+  config.drop_columns = split_list(args.get_or("drop", "job_id"));
+  config.encoder.bare_label_columns = split_list(args.get_or("bare", ""));
+  for (const std::string& column : split_list(args.get_or("group", ""))) {
+    prep::ShareGroupingParams grouping;
+    grouping.top_label = "Freq " + column;
+    grouping.middle_label = "Regular " + column;
+    grouping.bottom_label = "New " + column;
+    config.groupings.push_back({column, grouping});
+  }
+
+  // Default: bin every numeric column with paper-style parameters.
+  for (std::size_t c = 0; c < loaded.table.num_columns(); ++c) {
+    const std::string& name = loaded.table.column_name(c);
+    if (loaded.table.is_numeric(name)) {
+      config.binnings.push_back({name, prep::BinningParams{}});
+    }
+  }
+  return loaded;
+}
+
+}  // namespace
+
+int run_help(std::ostream& out) {
+  out << "gpumine - interpretable GPU-cluster trace analysis via "
+         "association rule mining\n\n"
+         "usage:\n"
+         "  gpumine synth --trace pai|supercloud|philly [--jobs N] "
+         "[--seed S] --out trace.csv\n"
+         "  gpumine itemsets --csv trace.csv [--min-support F] "
+         "[--max-length K] [--algorithm A] [--top N] [--save FILE] [--family all|closed|maximal]\n"
+         "  gpumine mine (--csv trace.csv | --load FILE) --keyword ITEM "
+         "[--min-support F] [--min-lift F]\n"
+         "               [--c-lift F] [--c-supp F] [--bare col,..] "
+         "[--group col,..] [--drop col,..]\n"
+         "               [--format table|csv|json|md] [--max-rows N]\n"
+         "  gpumine predict --csv trace.csv --target ITEM [--holdout F] "
+         "[--min-confidence F] [--seed N]\n"
+         "  gpumine report --csv trace.csv [--principal COL] [--runtime "
+         "COL] [--sm-util COL]\n"
+         "                 [--status COL] [--gpus COL] "
+         "[--sort idle|failed|hours|rate] [--top N]\n"
+         "  gpumine digest --csv trace.csv --keyword ITEM [--max-rules N] "
+         "[--fdr Q] [--negative-confidence F]\n"
+         "  gpumine compare --a x.itemsets --b y.itemsets --keyword ITEM "
+         "[--min-lift F]\n"
+         "  gpumine help\n";
+  return 0;
+}
+
+int run_synth(const std::vector<std::string>& args_raw, std::ostream& out,
+              std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string which = args.get_or("trace", "");
+  const auto jobs = args.get_uint("jobs", 20000);
+  const auto seed = args.get_uint("seed", 42);
+  const std::string path = args.get_or("out", "");
+  if (!jobs.ok() || !seed.ok()) {
+    err << (!jobs.ok() ? jobs.error() : seed.error()).to_string() << "\n";
+    return 2;
+  }
+  if (path.empty()) {
+    err << "--out is required\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  prep::Table table;
+  if (which == "pai") {
+    synth::PaiConfig config;
+    config.num_jobs = jobs.value();
+    config.seed = seed.value();
+    table = synth::generate_pai(config).merged();
+  } else if (which == "supercloud") {
+    synth::SuperCloudConfig config;
+    config.num_jobs = jobs.value();
+    config.seed = seed.value();
+    table = synth::generate_supercloud(config).merged();
+  } else if (which == "philly") {
+    synth::PhillyConfig config;
+    config.num_jobs = jobs.value();
+    config.seed = seed.value();
+    table = synth::generate_philly(config).merged();
+  } else {
+    err << "--trace must be pai, supercloud or philly\n";
+    return 2;
+  }
+  const auto written = prep::write_csv_file(table, path);
+  if (!written.ok()) {
+    err << written.error().to_string() << "\n";
+    return 1;
+  }
+  out << "wrote " << table.num_rows() << " jobs x " << table.num_columns()
+      << " features to " << path << "\n";
+  return 0;
+}
+
+int run_itemsets(const std::vector<std::string>& args_raw, std::ostream& out,
+                 std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const auto top = args.get_uint("top", 25);
+  const std::string save_path = args.get_or("save", "");
+  const std::string family = args.get_or("family", "all");
+  auto loaded = load_trace(args);
+  if (!top.ok() || !loaded.ok()) {
+    err << (!top.ok() ? top.error() : loaded.error()).to_string() << "\n";
+    return 2;
+  }
+  if (family != "all" && family != "closed" && family != "maximal") {
+    err << "--family must be all, closed or maximal\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  LoadedTrace trace = std::move(loaded).value();
+  auto mined = analysis::mine(std::move(trace.table), trace.config);
+  if (family == "closed") {
+    mined.mined.itemsets = core::closed_itemsets(mined.mined);
+  } else if (family == "maximal") {
+    mined.mined.itemsets = core::maximal_itemsets(mined.mined);
+  }
+  if (!save_path.empty()) {
+    const auto saved = core::save_mining_result_file(
+        mined.mined, mined.prepared.catalog, save_path);
+    if (!saved.ok()) {
+      err << saved.error().to_string() << "\n";
+      return 1;
+    }
+    out << "saved itemsets to " << save_path << "\n";
+  }
+  out << mined.mined.itemsets.size() << " frequent itemsets over "
+      << mined.prepared.catalog.size() << " items\n";
+  // Largest-support first for the "top" listing.
+  auto itemsets = mined.mined.itemsets;
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const core::FrequentItemset& a, const core::FrequentItemset& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.items < b.items;
+            });
+  const std::size_t n =
+      std::min<std::size_t>(itemsets.size(), top.value());
+  for (std::size_t i = 0; i < n; ++i) {
+    out << "  [" << itemsets[i].count << "] "
+        << mined.prepared.catalog.render(itemsets[i].items) << "\n";
+  }
+  return 0;
+}
+
+int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
+             std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string keyword = args.get_or("keyword", "");
+  const std::string format = args.get_or("format", "table");
+  const auto max_rows = args.get_uint("max-rows", 10);
+  if (!max_rows.ok()) {
+    err << max_rows.error().to_string() << "\n";
+    return 2;
+  }
+  if (keyword.empty()) {
+    err << "--keyword is required (an item name, e.g. 'Failed')\n";
+    return 2;
+  }
+
+  // Mining input: either a raw CSV (mined now) or a saved itemset file
+  // (from `itemsets --save`).
+  core::MiningResult result;
+  core::ItemCatalog catalog;
+  analysis::WorkflowConfig config;
+  if (const auto load_path = args.get("load"); load_path.has_value()) {
+    auto loaded = core::load_mining_result_file(*load_path);
+    if (!loaded.ok()) {
+      err << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    // Rule/pruning thresholds still apply when replaying saved itemsets.
+    const auto min_lift = args.get_double("min-lift", 1.5);
+    const auto c_lift = args.get_double("c-lift", 1.5);
+    const auto c_supp = args.get_double("c-supp", 1.5);
+    if (!min_lift.ok() || !c_lift.ok() || !c_supp.ok()) {
+      err << (!min_lift.ok() ? min_lift.error()
+              : !c_lift.ok() ? c_lift.error()
+                             : c_supp.error())
+                 .to_string()
+          << "\n";
+      return 2;
+    }
+    config.rules.min_lift = min_lift.value();
+    config.pruning.c_lift = c_lift.value();
+    config.pruning.c_supp = c_supp.value();
+    core::LoadedMiningResult archive = std::move(loaded).value();
+    result = std::move(archive.result);
+    catalog = std::move(archive.catalog);
+    if (!reject_unused(args, err)) return 2;
+  } else {
+    auto loaded = load_trace(args);
+    if (!loaded.ok()) {
+      err << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    if (!reject_unused(args, err)) return 2;
+    LoadedTrace trace = std::move(loaded).value();
+    config = trace.config;
+    auto mined = analysis::mine(std::move(trace.table), config);
+    result = std::move(mined.mined);
+    catalog = std::move(mined.prepared.catalog);
+  }
+
+  const auto keyword_id = catalog.find(keyword);
+  if (!keyword_id) {
+    err << "keyword '" << keyword << "' is not an encoded item\n";
+    return 1;
+  }
+  const auto analysis = core::analyze_keyword(result, *keyword_id,
+                                              config.rules, config.pruning);
+  if (format == "table") {
+    analysis::RuleTableOptions options;
+    options.max_cause = max_rows.value();
+    options.max_characteristic = max_rows.value();
+    out << analysis::render_rule_table(analysis, catalog, options);
+  } else if (format == "csv") {
+    out << analysis::rules_to_csv(analysis, catalog);
+  } else if (format == "json") {
+    out << analysis::rules_to_json(analysis, catalog) << "\n";
+  } else if (format == "md") {
+    out << analysis::rules_to_markdown(analysis, catalog, max_rows.value());
+  } else {
+    err << "--format must be table, csv, json or md\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_predict(const std::vector<std::string>& args_raw, std::ostream& out,
+                std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string target = args.get_or("target", "");
+  const auto holdout = args.get_double("holdout", 0.3);
+  const auto min_confidence = args.get_double("min-confidence", 0.7);
+  const auto seed = args.get_uint("seed", 1);
+  auto loaded = load_trace(args);
+  if (!holdout.ok() || !min_confidence.ok() || !seed.ok() || !loaded.ok()) {
+    const Error& e = !holdout.ok()          ? holdout.error()
+                     : !min_confidence.ok() ? min_confidence.error()
+                     : !seed.ok()           ? seed.error()
+                                            : loaded.error();
+    err << e.to_string() << "\n";
+    return 2;
+  }
+  if (target.empty()) {
+    err << "--target is required (the item to predict, e.g. 'Failed')\n";
+    return 2;
+  }
+  if (holdout.value() <= 0.0 || holdout.value() >= 1.0) {
+    err << "--holdout must be in (0, 1)\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  LoadedTrace trace = std::move(loaded).value();
+  const auto& config = trace.config;
+
+  // Deterministic random holdout split.
+  trace::Rng rng(seed.value());
+  const std::size_t rows = trace.table.num_rows();
+  std::vector<bool> is_train(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    is_train[r] = !rng.bernoulli(holdout.value());
+  }
+  std::vector<bool> is_test = is_train;
+  is_test.flip();
+
+  auto train = analysis::mine(trace.table.filter_rows(is_train), config);
+  const auto target_id = train.prepared.catalog.find(target);
+  if (!target_id) {
+    err << "target '" << target << "' is not an encoded item\n";
+    return 1;
+  }
+  const auto rules = core::generate_rules(train.mined, config.rules);
+  const auto cause =
+      core::filter_keyword(rules, *target_id, core::KeywordSide::kConsequent);
+  analysis::ClassifierParams clf_params;
+  clf_params.min_confidence = min_confidence.value();
+  const analysis::RuleClassifier classifier(cause, *target_id, clf_params);
+
+  // Encode the held-out rows and remap them into the training vocabulary.
+  auto test = analysis::prepare(trace.table.filter_rows(is_test), config);
+  core::TransactionDb remapped;
+  for (std::size_t t = 0; t < test.db.size(); ++t) {
+    core::Itemset txn;
+    for (core::ItemId id : test.db[t]) {
+      if (const auto mapped =
+              train.prepared.catalog.find(test.catalog.name(id))) {
+        txn.push_back(*mapped);
+      }
+    }
+    remapped.add(std::move(txn));
+  }
+  const analysis::Evaluation eval = analysis::evaluate(classifier, remapped);
+
+  out << "train rows: " << train.prepared.db.size()
+      << ", test rows: " << remapped.size()
+      << ", classifier rules: " << classifier.rules().size() << "\n";
+  out << "accuracy=" << eval.accuracy() << " precision=" << eval.precision()
+      << " recall=" << eval.recall() << " f1=" << eval.f1() << "\n";
+  const std::size_t top =
+      std::min<std::size_t>(classifier.rules().size(), 5);
+  for (std::size_t i = 0; i < top; ++i) {
+    out << "  rule[" << i << "] "
+        << analysis::render_rule(classifier.rules()[i],
+                                 train.prepared.catalog)
+        << "\n";
+  }
+  return 0;
+}
+
+int run_report(const std::vector<std::string>& args_raw, std::ostream& out,
+               std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const auto csv_path = args.get("csv");
+  if (!csv_path.has_value() || csv_path->empty()) {
+    err << "--csv is required\n";
+    return 2;
+  }
+  analysis::TableDrilldownSpec spec;
+  spec.principal_column = args.get_or("principal", "User");
+  spec.runtime_column = args.get_or("runtime", "Runtime");
+  spec.gpus_column = args.get_or("gpus", "");
+  spec.sm_util_column = args.get_or("sm-util", "SM Util");
+  spec.status_column = args.get_or("status", "Status");
+  spec.failed_label = args.get_or("failed-label", "Failed");
+  spec.killed_label = args.get_or("killed-label", "Killed");
+
+  analysis::DrilldownParams params;
+  const auto top = args.get_uint("top", 10);
+  if (!top.ok()) {
+    err << top.error().to_string() << "\n";
+    return 2;
+  }
+  params.top_k = top.value();
+  const std::string sort = args.get_or("sort", "idle");
+  if (sort == "idle") {
+    params.sort = analysis::DrilldownSort::kIdleGpuHours;
+  } else if (sort == "failed") {
+    params.sort = analysis::DrilldownSort::kFailedGpuHours;
+  } else if (sort == "hours") {
+    params.sort = analysis::DrilldownSort::kGpuHours;
+  } else if (sort == "rate") {
+    params.sort = analysis::DrilldownSort::kFailureRate;
+  } else {
+    err << "--sort must be idle, failed, hours or rate\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  prep::CsvParams csv;
+  csv.force_categorical = {"job_id", spec.principal_column};
+  auto table = prep::read_csv_file(*csv_path, csv);
+  if (!table.ok()) {
+    err << table.error().to_string() << "\n";
+    return 2;
+  }
+  auto stats =
+      analysis::drilldown_from_table(table.value(), spec, params);
+  if (!stats.ok()) {
+    err << stats.error().to_string() << "\n";
+    return 2;
+  }
+  out << analysis::render_drilldown(stats.value());
+  return 0;
+}
+
+int run_digest(const std::vector<std::string>& args_raw, std::ostream& out,
+               std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string keyword = args.get_or("keyword", "");
+  const auto max_rules = args.get_uint("max-rules", 6);
+  const auto fdr = args.get_double("fdr", 0.01);
+  const auto neg_conf = args.get_double("negative-confidence", 0.7);
+  const std::string exclude_list = args.get_or("exclude", "");
+  auto loaded = load_trace(args);
+  if (!max_rules.ok() || !fdr.ok() || !neg_conf.ok() || !loaded.ok()) {
+    const Error& e = !max_rules.ok() ? max_rules.error()
+                     : !fdr.ok()     ? fdr.error()
+                     : !neg_conf.ok() ? neg_conf.error()
+                                      : loaded.error();
+    err << e.to_string() << "\n";
+    return 2;
+  }
+  if (keyword.empty()) {
+    err << "--keyword is required\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  LoadedTrace trace = std::move(loaded).value();
+  const auto config = trace.config;
+  auto mined = analysis::mine(std::move(trace.table), config);
+  const auto& catalog = mined.prepared.catalog;
+  const auto keyword_id = catalog.find(keyword);
+  if (!keyword_id) {
+    err << "keyword '" << keyword << "' is not an encoded item\n";
+    return 1;
+  }
+  const auto analysis = core::analyze_keyword(mined.mined, *keyword_id,
+                                              config.rules, config.pruning);
+
+  analysis::SummarizeParams summarize;
+  summarize.max_rules = max_rules.value();
+  const auto digest = analysis::summarize_cause_rules(
+      analysis.cause, mined.prepared.db, *keyword_id, summarize);
+  out << "digest (greedy coverage of '" << keyword << "' transactions):\n";
+  std::vector<core::Rule> digest_rules;
+  for (const auto& entry : digest) {
+    out << "  " << analysis::render_rule(entry.rule, catalog)
+        << "  conf=" << entry.rule.confidence << " covers " << entry.matched
+        << " (+" << entry.newly_covered << " new, cum "
+        << static_cast<int>(entry.cumulative_coverage * 100.0) << "%)\n";
+    digest_rules.push_back(entry.rule);
+  }
+
+  const auto certified = core::significant_rules(
+      digest_rules, mined.mined.db_size, fdr.value());
+  out << "certified " << certified.size() << " of " << digest_rules.size()
+      << " digest rules (Fisher exact, BH q=" << fdr.value() << ")\n";
+
+  core::NegativeRuleParams negative;
+  negative.min_confidence = neg_conf.value();
+  negative.mining_min_support = config.mining.min_support;
+  // Tautology guard: e.g. --exclude Terminated when the keyword is
+  // Failed, so "{Terminated} => NOT Failed" does not top the list.
+  for (const std::string& name : split_list(exclude_list)) {
+    if (const auto id = catalog.find(name)) {
+      negative.excluded_antecedent_items.push_back(*id);
+    }
+  }
+  const auto safe =
+      core::generate_negative_rules(mined.mined, *keyword_id, negative);
+  out << "safe patterns (X => NOT " << keyword << "): " << safe.size()
+      << "\n";
+  for (std::size_t i = 0; i < safe.size() && i < 5; ++i) {
+    out << "  {" << catalog.render(safe[i].antecedent)
+        << "}  conf=" << safe[i].confidence << " lift=" << safe[i].lift
+        << "\n";
+  }
+  return 0;
+}
+
+int run_compare(const std::vector<std::string>& args_raw, std::ostream& out,
+                std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string path_a = args.get_or("a", "");
+  const std::string path_b = args.get_or("b", "");
+  const std::string keyword = args.get_or("keyword", "");
+  const auto min_lift = args.get_double("min-lift", 1.5);
+  if (!min_lift.ok()) {
+    err << min_lift.error().to_string() << "\n";
+    return 2;
+  }
+  if (path_a.empty() || path_b.empty() || keyword.empty()) {
+    err << "--a ARCHIVE --b ARCHIVE --keyword ITEM are required "
+           "(archives from `itemsets --save`)\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  auto loaded_a = core::load_mining_result_file(path_a);
+  auto loaded_b = core::load_mining_result_file(path_b);
+  if (!loaded_a.ok() || !loaded_b.ok()) {
+    err << (!loaded_a.ok() ? loaded_a : loaded_b).error().to_string() << "\n";
+    return 2;
+  }
+  core::LoadedMiningResult a = std::move(loaded_a).value();
+  core::LoadedMiningResult b = std::move(loaded_b).value();
+
+  core::RuleParams rule_params;
+  rule_params.min_lift = min_lift.value();
+  auto keyword_rules = [&](const core::LoadedMiningResult& archive)
+      -> std::vector<core::Rule> {
+    const auto id = archive.catalog.find(keyword);
+    if (!id) return {};
+    return core::filter_keyword(
+        core::generate_rules(archive.result, rule_params), *id);
+  };
+  const auto rules_a = keyword_rules(a);
+  const auto rules_b = keyword_rules(b);
+  const auto cmp =
+      analysis::compare_rule_sets(rules_a, a.catalog, rules_b, b.catalog);
+  out << "A: " << rules_a.size() << " keyword rules; B: " << rules_b.size()
+      << "; shared: " << cmp.matched.size()
+      << " (Jaccard " << cmp.jaccard_overlap() << ")\n";
+  if (!cmp.matched.empty()) {
+    out << "on shared rules: mean |d conf| = " << cmp.mean_abs_conf_delta()
+        << ", mean |d lift| = " << cmp.mean_abs_lift_delta() << "\n";
+  }
+  const auto show = [&](const char* title,
+                        const std::vector<core::Rule>& rules,
+                        const core::ItemCatalog& catalog) {
+    out << title << " (" << rules.size() << "):\n";
+    for (std::size_t i = 0; i < rules.size() && i < 3; ++i) {
+      out << "  " << analysis::render_rule(rules[i], catalog) << "\n";
+    }
+  };
+  show("only in A", cmp.only_a, a.catalog);
+  show("only in B", cmp.only_b, b.catalog);
+  return 0;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    return run_help(out);
+  }
+  const std::string command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "synth") return run_synth(rest, out, err);
+  if (command == "itemsets") return run_itemsets(rest, out, err);
+  if (command == "mine") return run_mine(rest, out, err);
+  if (command == "predict") return run_predict(rest, out, err);
+  if (command == "report") return run_report(rest, out, err);
+  if (command == "digest") return run_digest(rest, out, err);
+  if (command == "compare") return run_compare(rest, out, err);
+  err << "unknown command '" << command << "' (try: gpumine help)\n";
+  return 2;
+}
+
+}  // namespace gpumine::cli

@@ -1,0 +1,54 @@
+// Subcommand implementations behind the `gpumine` binary. All output
+// goes through the provided streams and the return value is the process
+// exit code, so the commands are unit-testable without spawning.
+//
+//   gpumine synth    --trace pai|supercloud|philly --jobs N --seed S
+//                    --out trace.csv
+//   gpumine itemsets --csv trace.csv [--min-support F] [--max-length K]
+//                    [--algorithm fpgrowth|apriori|eclat] [--top N]
+//   gpumine mine     --csv trace.csv --keyword ITEM [--min-support F]
+//                    [--min-lift F] [--max-length K] [--c-lift F]
+//                    [--c-supp F] [--bare col,col] [--group col,col]
+//                    [--drop col,col] [--max-rows N]
+//   gpumine predict  --csv trace.csv --target ITEM [--holdout F]
+//                    [--min-confidence F] [--seed N] [+ mine flags]
+//   gpumine help
+//
+// `itemsets` and `mine` bin every numeric CSV column with the paper's
+// defaults (equal-frequency quartiles; automatic 0-value and "Std" spike
+// bins); `--group` applies the 25%-share Freq/Regular/New grouping to
+// high-cardinality categorical columns such as user ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpumine::cli {
+
+/// Dispatches `argv`-style arguments (without the program name).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+int run_help(std::ostream& out);
+int run_synth(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+int run_itemsets(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+int run_mine(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
+int run_predict(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+int run_report(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+/// Operator digest: greedy rule summary + Fisher/FDR certification +
+/// negative "safe pattern" rules for one keyword.
+int run_digest(const std::vector<std::string>& args, std::ostream& out,
+               std::ostream& err);
+/// Compares the keyword rule sets of two itemset archives (from
+/// `itemsets --save`) — overlap, metric divergence, and the rules unique
+/// to each system.
+int run_compare(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err);
+
+}  // namespace gpumine::cli

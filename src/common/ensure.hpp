@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking used across gpumine.
+//
+// GPUMINE_CHECK_ARG  -> std::invalid_argument: caller handed us bad input
+//                       (a recoverable misuse of the public API).
+// GPUMINE_ENSURE     -> std::logic_error: an internal invariant failed; a
+//                       bug in gpumine itself, never expected in correct use.
+//
+// Both macros are always on (they guard correctness, not performance);
+// every check is O(1) or amortised into an operation that already pays
+// the cost (e.g. validating sortedness while merging).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gpumine::detail {
+
+[[noreturn]] inline void throw_check_arg(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": argument check failed (" + expr + "): " + msg);
+}
+
+[[noreturn]] inline void throw_ensure(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": invariant violated (" + expr + "): " + msg);
+}
+
+}  // namespace gpumine::detail
+
+#define GPUMINE_CHECK_ARG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::gpumine::detail::throw_check_arg(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+#define GPUMINE_ENSURE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::gpumine::detail::throw_ensure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,54 @@
+// Minimal expected-style result type for recoverable failures (file I/O,
+// parsing, configuration). C++20 lacks std::expected; this covers the
+// subset gpumine needs without pulling in a dependency.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/ensure.hpp"
+
+namespace gpumine {
+
+/// Describes a recoverable failure. `context` is a human-readable locus
+/// (file name, line number, column name); `message` says what went wrong.
+struct Error {
+  std::string context;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return context.empty() ? message : context + ": " + message;
+  }
+};
+
+/// Holds either a value of T or an Error. Use `ok()` before `value()`;
+/// `value()` on an error state throws (it is a caller bug, not a new error).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    GPUMINE_ENSURE(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    GPUMINE_ENSURE(ok(), "Result::value() on error: " + error().to_string());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    GPUMINE_ENSURE(!ok(), "Result::error() on success");
+    return std::get<Error>(state_);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+}  // namespace gpumine

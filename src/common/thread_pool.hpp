@@ -1,0 +1,100 @@
+// Fixed-size work-stealing-free thread pool used by the parallel FP-Growth
+// miner and the bench harness. Deliberately simple: a single locked deque
+// is plenty for the coarse-grained tasks gpumine submits (one task per
+// top-level conditional FP-tree), and simplicity keeps shutdown airtight.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gpumine {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency()
+  /// (minimum 1). The pool starts immediately and joins in the destructor.
+  explicit ThreadPool(std::size_t num_threads = 0) {
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Submits a nullary callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until done.
+  /// The calling thread participates, so a 1-thread pool still overlaps
+  /// nothing but also deadlocks nothing.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    std::vector<std::future<void>> futures;
+    futures.reserve(n > 0 ? n - 1 : 0);
+    for (std::size_t i = 1; i < n; ++i) {
+      futures.push_back(submit([&fn, i] { fn(i); }));
+    }
+    fn(0);
+    for (auto& f : futures) f.get();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace gpumine

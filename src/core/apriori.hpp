@@ -1,0 +1,19 @@
+// Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+//
+// The classical level-wise baseline the paper contrasts FP-Growth
+// against (Sec. III-C): generate candidate k-itemsets by joining frequent
+// (k-1)-itemsets, prune candidates with an infrequent subset, then count
+// candidates in one database pass per level. Exponential in the worst
+// case; kept here as (a) the paper's stated baseline for the perf bench
+// and (b) an independent implementation to cross-validate FP-Growth.
+#pragma once
+
+#include "core/frequent.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::core {
+
+[[nodiscard]] MiningResult mine_apriori(const TransactionDb& db,
+                                        const MiningParams& params);
+
+}  // namespace gpumine::core

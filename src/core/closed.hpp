@@ -1,0 +1,34 @@
+// Closed and maximal frequent itemsets.
+//
+// A frequent itemset is *closed* when no proper superset has the same
+// support, and *maximal* when no proper superset is frequent at all.
+// Closed itemsets preserve the full support information of the frequent
+// set in (often far) fewer entries; maximal itemsets give the frontier.
+// The paper's related work (Sec. VI) leans on closed-itemset miners for
+// streaming; here they also serve as a lossless compression step before
+// archiving mining results.
+#pragma once
+
+#include "core/frequent.hpp"
+
+namespace gpumine::core {
+
+/// Itemsets of `mined` with no equal-support proper superset.
+/// Deterministic order (sort_canonical). O(sum over sizes of per-itemset
+/// superset probes) using the support map.
+[[nodiscard]] std::vector<FrequentItemset> closed_itemsets(
+    const MiningResult& mined);
+
+/// Itemsets of `mined` with no frequent proper superset.
+[[nodiscard]] std::vector<FrequentItemset> maximal_itemsets(
+    const MiningResult& mined);
+
+/// Reconstructs the support of ANY itemset (frequent or not) from a
+/// closed-itemset family: the support of X is the support of the
+/// smallest closed superset of X, or 0 when no closed superset exists
+/// (then X is infrequent). This is the losslessness property tests rely
+/// on.
+[[nodiscard]] std::uint64_t support_from_closed(
+    const std::vector<FrequentItemset>& closed, const Itemset& itemset);
+
+}  // namespace gpumine::core

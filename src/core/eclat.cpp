@@ -1,0 +1,79 @@
+#include "core/eclat.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gpumine::core {
+namespace {
+
+using TidList = std::vector<std::uint32_t>;
+
+struct Node {
+  ItemId item;
+  TidList tids;
+};
+
+TidList intersect(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Depth-first extension of `prefix` by each class member, recursing into
+// the equivalence class of survivors.
+void mine_class(const Itemset& prefix, const std::vector<Node>& klass,
+                std::uint64_t min_count, std::size_t max_length,
+                std::vector<FrequentItemset>& out) {
+  for (std::size_t i = 0; i < klass.size(); ++i) {
+    Itemset extended = prefix;
+    extended.push_back(klass[i].item);
+    out.push_back({extended, klass[i].tids.size()});
+    if (extended.size() >= max_length) continue;
+
+    std::vector<Node> next_class;
+    for (std::size_t j = i + 1; j < klass.size(); ++j) {
+      TidList tids = intersect(klass[i].tids, klass[j].tids);
+      if (tids.size() >= min_count) {
+        next_class.push_back({klass[j].item, std::move(tids)});
+      }
+    }
+    if (!next_class.empty()) {
+      mine_class(extended, next_class, min_count, max_length, out);
+    }
+  }
+}
+
+}  // namespace
+
+MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
+  params.validate();
+  MiningResult result;
+  result.db_size = db.size();
+  if (db.empty()) return result;
+
+  const std::uint64_t min_count = params.min_count(db.size());
+
+  // Build the vertical layout: one sorted tid-list per item. Transactions
+  // are scanned in id order, so lists come out sorted for free.
+  std::vector<TidList> tidlists(db.item_id_bound());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    for (ItemId id : db[t]) {
+      tidlists[id].push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+
+  std::vector<Node> root;
+  for (ItemId id = 0; id < tidlists.size(); ++id) {
+    if (tidlists[id].size() >= min_count) {
+      root.push_back({id, std::move(tidlists[id])});
+    }
+  }
+
+  mine_class({}, root, min_count, params.max_length, result.itemsets);
+  sort_canonical(result.itemsets);
+  return result;
+}
+
+}  // namespace gpumine::core

@@ -1,0 +1,286 @@
+#include "core/fpgrowth.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gpumine::core {
+namespace {
+
+constexpr std::uint32_t kNoRank = static_cast<std::uint32_t>(-1);
+constexpr std::int32_t kNoNode = -1;
+
+// FP-tree over *ranks*: each frequent item is renumbered 0..n-1 in
+// support-descending order, and tree paths are strictly rank-increasing
+// from the root. Header chains link all nodes of a rank.
+class FpTree {
+ public:
+  struct Node {
+    std::uint32_t rank;
+    std::uint64_t count;
+    std::int32_t parent;
+    std::int32_t next;  // next node of the same rank (header chain)
+  };
+
+  // `item_of_rank[r]` is the original ItemId for rank r;
+  // `count_of_rank[r]` its total support in the (conditional) database.
+  FpTree(std::vector<ItemId> item_of_rank, std::vector<std::uint64_t> count_of_rank)
+      : item_of_rank_(std::move(item_of_rank)),
+        count_of_rank_(std::move(count_of_rank)),
+        header_(item_of_rank_.size(), kNoNode) {
+    GPUMINE_ENSURE(item_of_rank_.size() == count_of_rank_.size(),
+                   "rank tables must be parallel");
+    nodes_.push_back({kNoRank, 0, kNoNode, kNoNode});  // root
+    child_count_.push_back(0);
+  }
+
+  // Inserts a strictly rank-ascending path with multiplicity `weight`.
+  void insert(std::span<const std::uint32_t> ranks, std::uint64_t weight) {
+    std::int32_t cur = 0;  // root
+    for (std::uint32_t r : ranks) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(cur) << 32) | r;
+      auto it = child_index_.find(key);
+      if (it != child_index_.end()) {
+        cur = it->second;
+        nodes_[static_cast<std::size_t>(cur)].count += weight;
+      } else {
+        const auto next_id = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back({r, weight, cur, header_[r]});
+        child_count_.push_back(0);
+        header_[r] = next_id;
+        child_index_.emplace(key, next_id);
+        ++child_count_[static_cast<std::size_t>(cur)];
+        cur = next_id;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t num_ranks() const { return item_of_rank_.size(); }
+  [[nodiscard]] ItemId item(std::uint32_t rank) const { return item_of_rank_[rank]; }
+  [[nodiscard]] std::uint64_t rank_count(std::uint32_t rank) const {
+    return count_of_rank_[rank];
+  }
+  [[nodiscard]] std::int32_t header(std::uint32_t rank) const { return header_[rank]; }
+  [[nodiscard]] const Node& node(std::int32_t id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  // True iff no node has more than one child — the single-path case.
+  [[nodiscard]] bool single_path() const {
+    return std::all_of(child_count_.begin(), child_count_.end(),
+                       [](std::uint32_t c) { return c <= 1; });
+  }
+
+  // For a single-path tree: the path as (item, count) from root downward.
+  [[nodiscard]] std::vector<std::pair<ItemId, std::uint64_t>> path() const {
+    GPUMINE_ENSURE(single_path(), "path() requires a single-path tree");
+    std::vector<std::pair<ItemId, std::uint64_t>> out;
+    // Ranks on a path ascend, and with one node per rank the header table
+    // itself enumerates the path in rank order.
+    for (std::uint32_t r = 0; r < header_.size(); ++r) {
+      if (header_[r] != kNoNode) {
+        const Node& n = node(header_[r]);
+        out.emplace_back(item_of_rank_[r], n.count);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<ItemId> item_of_rank_;
+  std::vector<std::uint64_t> count_of_rank_;
+  std::vector<std::int32_t> header_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> child_count_;
+  std::unordered_map<std::uint64_t, std::int32_t> child_index_;
+};
+
+// Builds the conditional FP-tree for `rank` of `tree`: the database of
+// prefix paths of every `rank` node, weighted by that node's count,
+// restricted to items that stay frequent in the projection.
+FpTree conditional_tree(const FpTree& tree, std::uint32_t rank,
+                        std::uint64_t min_count) {
+  // Pass 1: weighted item counts over the prefix paths.
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;  // old rank -> count
+  for (std::int32_t id = tree.header(rank); id != kNoNode;
+       id = tree.node(id).next) {
+    const std::uint64_t w = tree.node(id).count;
+    for (std::int32_t p = tree.node(id).parent; p != 0;
+         p = tree.node(p).parent) {
+      counts[tree.node(p).rank] += w;
+    }
+  }
+
+  // New rank order: support-descending, ties by old rank for determinism.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> kept;
+  for (const auto& [r, c] : counts) {
+    if (c >= min_count) kept.emplace_back(r, c);
+  }
+  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  std::vector<ItemId> item_of_rank(kept.size());
+  std::vector<std::uint64_t> count_of_rank(kept.size());
+  std::unordered_map<std::uint32_t, std::uint32_t> new_rank;  // old -> new
+  new_rank.reserve(kept.size());
+  for (std::uint32_t nr = 0; nr < kept.size(); ++nr) {
+    item_of_rank[nr] = tree.item(kept[nr].first);
+    count_of_rank[nr] = kept[nr].second;
+    new_rank.emplace(kept[nr].first, nr);
+  }
+
+  FpTree cond(std::move(item_of_rank), std::move(count_of_rank));
+  if (cond.num_ranks() == 0) return cond;
+
+  // Pass 2: re-insert each prefix path under the new ranking.
+  std::vector<std::uint32_t> path;
+  for (std::int32_t id = tree.header(rank); id != kNoNode;
+       id = tree.node(id).next) {
+    path.clear();
+    for (std::int32_t p = tree.node(id).parent; p != 0;
+         p = tree.node(p).parent) {
+      if (auto it = new_rank.find(tree.node(p).rank); it != new_rank.end()) {
+        path.push_back(it->second);
+      }
+    }
+    if (path.empty()) continue;
+    std::sort(path.begin(), path.end());
+    cond.insert(path, tree.node(id).count);
+  }
+  return cond;
+}
+
+// Emits suffix ∪ S for every non-empty subset S of the single path whose
+// size fits the remaining length budget. The count of a subset is the
+// count of its deepest (least-frequent) chosen node.
+void enumerate_single_path(
+    const std::vector<std::pair<ItemId, std::uint64_t>>& path,
+    const Itemset& suffix, std::size_t max_extra,
+    std::vector<FrequentItemset>& out) {
+  if (max_extra == 0 || path.empty()) return;
+  // Depth-first over path positions; counts along the path are
+  // non-increasing, so the deepest chosen position determines the count.
+  std::vector<std::size_t> chosen;
+  auto recurse = [&](auto&& self, std::size_t start) -> void {
+    for (std::size_t i = start; i < path.size(); ++i) {
+      chosen.push_back(i);
+      Itemset items = suffix;
+      for (std::size_t c : chosen) items.push_back(path[c].first);
+      canonicalize(items);
+      out.push_back({std::move(items), path[i].second});
+      if (chosen.size() < max_extra) self(self, i + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+}
+
+// Recursive FP-Growth over `tree`, extending `suffix`.
+void mine_tree(const FpTree& tree, const Itemset& suffix,
+               std::uint64_t min_count, std::size_t max_length,
+               std::vector<FrequentItemset>& out) {
+  // Least-frequent rank first is the classical order; any order yields
+  // the same set, but this keeps conditional trees small.
+  for (std::uint32_t r = static_cast<std::uint32_t>(tree.num_ranks()); r-- > 0;) {
+    Itemset extended = suffix;
+    extended.push_back(tree.item(r));
+    canonicalize(extended);
+    out.push_back({extended, tree.rank_count(r)});
+    if (extended.size() >= max_length) continue;
+
+    FpTree cond = conditional_tree(tree, r, min_count);
+    if (cond.num_ranks() == 0) continue;
+    if (cond.single_path()) {
+      enumerate_single_path(cond.path(), extended,
+                            max_length - extended.size(), out);
+    } else {
+      mine_tree(cond, extended, min_count, max_length, out);
+    }
+  }
+}
+
+}  // namespace
+
+MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) {
+  params.validate();
+  MiningResult result;
+  result.db_size = db.size();
+  if (db.empty()) return result;
+
+  const std::uint64_t min_count = params.min_count(db.size());
+
+  // Global item ranking by support (descending; ties by ItemId).
+  const auto counts = db.item_counts();
+  std::vector<ItemId> frequent_items;
+  for (ItemId id = 0; id < counts.size(); ++id) {
+    if (counts[id] >= min_count) frequent_items.push_back(id);
+  }
+  std::sort(frequent_items.begin(), frequent_items.end(),
+            [&](ItemId a, ItemId b) {
+              if (counts[a] != counts[b]) return counts[a] > counts[b];
+              return a < b;
+            });
+
+  std::vector<std::uint32_t> rank_of(db.item_id_bound(), kNoRank);
+  std::vector<std::uint64_t> count_of_rank(frequent_items.size());
+  for (std::uint32_t r = 0; r < frequent_items.size(); ++r) {
+    rank_of[frequent_items[r]] = r;
+    count_of_rank[r] = counts[frequent_items[r]];
+  }
+
+  FpTree tree(frequent_items, std::move(count_of_rank));
+  std::vector<std::uint32_t> ranks;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    ranks.clear();
+    for (ItemId id : db[t]) {
+      if (rank_of[id] != kNoRank) ranks.push_back(rank_of[id]);
+    }
+    if (ranks.empty()) continue;
+    std::sort(ranks.begin(), ranks.end());
+    tree.insert(ranks, 1);
+  }
+
+  // Top level: 1-itemsets, then one independent mining task per rank.
+  const std::size_t n = tree.num_ranks();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    result.itemsets.push_back({Itemset{tree.item(r)}, tree.rank_count(r)});
+  }
+
+  auto mine_rank = [&](std::uint32_t r, std::vector<FrequentItemset>& out) {
+    if (params.max_length < 2) return;
+    const Itemset suffix{tree.item(r)};
+    FpTree cond = conditional_tree(tree, r, min_count);
+    if (cond.num_ranks() == 0) return;
+    if (cond.single_path()) {
+      enumerate_single_path(cond.path(), suffix, params.max_length - 1, out);
+    } else {
+      mine_tree(cond, suffix, min_count, params.max_length, out);
+    }
+  };
+
+  if (params.num_threads == 1 || n < 2) {
+    for (std::uint32_t r = 0; r < n; ++r) mine_rank(r, result.itemsets);
+  } else {
+    ThreadPool pool(params.num_threads);
+    std::vector<std::vector<FrequentItemset>> partial(n);
+    pool.parallel_for(n, [&](std::size_t r) {
+      mine_rank(static_cast<std::uint32_t>(r), partial[r]);
+    });
+    for (auto& p : partial) {
+      result.itemsets.insert(result.itemsets.end(),
+                             std::make_move_iterator(p.begin()),
+                             std::make_move_iterator(p.end()));
+    }
+  }
+
+  sort_canonical(result.itemsets);
+  return result;
+}
+
+}  // namespace gpumine::core

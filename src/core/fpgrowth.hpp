@@ -1,0 +1,24 @@
+// FP-Growth frequent-itemset mining (Han, Pei, Yin & Mao, DMKD 2004).
+//
+// The paper's algorithm of choice (Sec. III-C): compress the database
+// into an FP-tree (prefix tree over support-descending item order with
+// per-item header chains), then mine recursively by projecting
+// conditional FP-trees for each suffix item. Two standard optimizations
+// are implemented:
+//   * single-path shortcut — a conditional tree that degenerates to one
+//     path yields all its itemsets by direct subset enumeration;
+//   * max-length cutoff pushed into the recursion (the paper caps
+//     itemsets at 5 items, Sec. III-D).
+// Top-level conditional trees are independent, so they can be mined on a
+// thread pool (MiningParams::num_threads).
+#pragma once
+
+#include "core/frequent.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::core {
+
+[[nodiscard]] MiningResult mine_fpgrowth(const TransactionDb& db,
+                                         const MiningParams& params);
+
+}  // namespace gpumine::core

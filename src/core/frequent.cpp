@@ -1,0 +1,46 @@
+#include "core/frequent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::core {
+
+std::uint64_t MiningParams::min_count(std::size_t db_size) const {
+  validate();
+  const double exact = min_support * static_cast<double>(db_size);
+  auto count = static_cast<std::uint64_t>(std::ceil(exact));
+  // ceil can land one below the threshold through floating rounding when
+  // exact is integral-but-represented-slightly-low; nudge up if needed.
+  while (static_cast<double>(count) <
+         min_support * static_cast<double>(db_size)) {
+    ++count;
+  }
+  return std::max<std::uint64_t>(count, 1);
+}
+
+void MiningParams::validate() const {
+  GPUMINE_CHECK_ARG(min_support > 0.0 && min_support <= 1.0,
+                    "min_support must be in (0, 1]");
+  GPUMINE_CHECK_ARG(max_length >= 1, "max_length must be >= 1");
+}
+
+SupportMap MiningResult::support_map() const {
+  SupportMap map;
+  map.reserve(itemsets.size());
+  for (const auto& fi : itemsets) map.emplace(fi.items, fi.count);
+  return map;
+}
+
+void sort_canonical(std::vector<FrequentItemset>& itemsets) {
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+}  // namespace gpumine::core

@@ -1,0 +1,69 @@
+// Shared types for frequent-itemset mining (paper Sec. III-C).
+//
+// A frequent itemset is an itemset whose support exceeds a minimum
+// threshold; the paper uses min_support = 5% and caps itemset length at 5
+// to keep the rule space interpretable (Sec. III-D).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/itemset.hpp"
+
+namespace gpumine::core {
+
+struct MiningParams {
+  /// Minimum support as a fraction of |D| in (0, 1]. Paper default: 0.05.
+  double min_support = 0.05;
+  /// Maximum itemset length. Paper default: 5 (Sec. III-D).
+  std::size_t max_length = 5;
+  /// Worker threads for FP-Growth's top-level conditional trees;
+  /// 0 = hardware concurrency, 1 = sequential.
+  std::size_t num_threads = 1;
+
+  /// Converts the fractional threshold into an absolute count over a
+  /// database of `db_size` transactions: the smallest count c with
+  /// c / db_size >= min_support, and at least 1.
+  [[nodiscard]] std::uint64_t min_count(std::size_t db_size) const;
+
+  /// Throws std::invalid_argument unless thresholds are in range.
+  void validate() const;
+};
+
+struct FrequentItemset {
+  Itemset items;        // canonical
+  std::uint64_t count;  // sigma(items)
+};
+
+/// Lookup table from itemset to support count. Heterogeneous lookup via
+/// span avoids building temporary vectors on the hot rule-generation path.
+using SupportMap =
+    std::unordered_map<Itemset, std::uint64_t, ItemsetHash, ItemsetEq>;
+
+/// Output of a mining run. `itemsets` is sorted deterministically
+/// (by length, then lexicographically by item ids) regardless of the
+/// algorithm or thread count that produced it.
+struct MiningResult {
+  std::vector<FrequentItemset> itemsets;
+  std::uint64_t db_size = 0;
+
+  /// Builds the support lookup map (linear in output size).
+  [[nodiscard]] SupportMap support_map() const;
+
+  /// supp(X) = sigma(X) / |D| for an itemset known to be in the result;
+  /// helper for tests and reports.
+  [[nodiscard]] double support(const FrequentItemset& fi) const {
+    return db_size == 0 ? 0.0
+                        : static_cast<double>(fi.count) /
+                              static_cast<double>(db_size);
+  }
+};
+
+/// Sorts `itemsets` into the canonical deterministic order used by all
+/// three algorithms (length-major, then lexicographic by ids).
+void sort_canonical(std::vector<FrequentItemset>& itemsets);
+
+}  // namespace gpumine::core

@@ -1,0 +1,78 @@
+#include "core/measures.hpp"
+
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::core {
+
+void ContingencyCounts::validate() const {
+  GPUMINE_CHECK_ARG(total > 0, "total must be positive");
+  GPUMINE_CHECK_ARG(antecedent <= total && consequent <= total,
+                    "marginals cannot exceed the total");
+  GPUMINE_CHECK_ARG(joint <= antecedent && joint <= consequent,
+                    "joint cannot exceed a marginal");
+  // Inclusion-exclusion: |X ∪ Y| = |X| + |Y| - |XY| must fit in |D|.
+  GPUMINE_CHECK_ARG(antecedent + consequent - joint <= total,
+                    "counts violate inclusion-exclusion");
+}
+
+double jaccard(const ContingencyCounts& c) {
+  c.validate();
+  const double uni =
+      static_cast<double>(c.antecedent + c.consequent - c.joint);
+  return uni == 0.0 ? 0.0 : static_cast<double>(c.joint) / uni;
+}
+
+double cosine(const ContingencyCounts& c) {
+  c.validate();
+  const double denom = std::sqrt(static_cast<double>(c.antecedent) *
+                                 static_cast<double>(c.consequent));
+  return denom == 0.0 ? 0.0 : static_cast<double>(c.joint) / denom;
+}
+
+double kulczynski(const ContingencyCounts& c) {
+  c.validate();
+  if (c.antecedent == 0 || c.consequent == 0) return 0.0;
+  const double j = static_cast<double>(c.joint);
+  return 0.5 * (j / static_cast<double>(c.antecedent) +
+                j / static_cast<double>(c.consequent));
+}
+
+double imbalance_ratio(const ContingencyCounts& c) {
+  c.validate();
+  const double uni =
+      static_cast<double>(c.antecedent + c.consequent - c.joint);
+  if (uni == 0.0) return 0.0;
+  const double diff = c.antecedent > c.consequent
+                          ? static_cast<double>(c.antecedent - c.consequent)
+                          : static_cast<double>(c.consequent - c.antecedent);
+  return diff / uni;
+}
+
+double phi_coefficient(const ContingencyCounts& c) {
+  c.validate();
+  const double n = static_cast<double>(c.total);
+  const double px = static_cast<double>(c.antecedent) / n;
+  const double py = static_cast<double>(c.consequent) / n;
+  const double pxy = static_cast<double>(c.joint) / n;
+  const double denom = std::sqrt(px * (1.0 - px) * py * (1.0 - py));
+  return denom == 0.0 ? 0.0 : (pxy - px * py) / denom;
+}
+
+double added_value(const ContingencyCounts& c) {
+  c.validate();
+  if (c.antecedent == 0) return 0.0;
+  const double conf =
+      static_cast<double>(c.joint) / static_cast<double>(c.antecedent);
+  return conf - static_cast<double>(c.consequent) /
+                    static_cast<double>(c.total);
+}
+
+ExtendedMeasures extended_measures(const ContingencyCounts& c) {
+  return ExtendedMeasures{jaccard(c),        cosine(c),
+                          kulczynski(c),     imbalance_ratio(c),
+                          phi_coefficient(c), added_value(c)};
+}
+
+}  // namespace gpumine::core

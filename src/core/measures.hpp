@@ -1,0 +1,53 @@
+// Extended rule interest measures.
+//
+// Support/confidence/lift (Sec. III-B) are the paper's working metrics;
+// the data-mining literature the paper builds on uses several more to
+// rank or filter rules. All are pure functions of the contingency counts
+// (sigma(X), sigma(Y), sigma(XY), |D|), so they can be evaluated for any
+// generated rule without touching the database again.
+//
+//   jaccard     |X ∩ Y| / |X ∪ Y|                 — co-occurrence overlap
+//   cosine      P(XY) / sqrt(P(X)·P(Y))           — null-invariant lift
+//   kulczynski  (P(Y|X) + P(X|Y)) / 2             — mean of the two confs
+//   imbalance   ||X|-|Y|| / (|X|+|Y|-|XY|)        — skew of the pair
+//   phi         Pearson correlation of the indicator variables
+//   added_value P(Y|X) - P(Y)
+//
+// Null-invariance matters when one side is rare (e.g. "Failed" at 13%):
+// lift inflates with rarity, cosine and kulczynski do not.
+#pragma once
+
+#include <cstdint>
+
+namespace gpumine::core {
+
+struct ContingencyCounts {
+  std::uint64_t antecedent;  // sigma(X)
+  std::uint64_t consequent;  // sigma(Y)
+  std::uint64_t joint;       // sigma(X ∪ Y)
+  std::uint64_t total;       // |D|
+
+  /// Throws std::invalid_argument on inconsistent counts.
+  void validate() const;
+};
+
+struct ExtendedMeasures {
+  double jaccard = 0.0;
+  double cosine = 0.0;
+  double kulczynski = 0.0;
+  double imbalance_ratio = 0.0;
+  double phi = 0.0;  // in [-1, 1]
+  double added_value = 0.0;
+};
+
+[[nodiscard]] ExtendedMeasures extended_measures(const ContingencyCounts& c);
+
+/// Individual measures (same definitions; convenience for tests/filters).
+[[nodiscard]] double jaccard(const ContingencyCounts& c);
+[[nodiscard]] double cosine(const ContingencyCounts& c);
+[[nodiscard]] double kulczynski(const ContingencyCounts& c);
+[[nodiscard]] double imbalance_ratio(const ContingencyCounts& c);
+[[nodiscard]] double phi_coefficient(const ContingencyCounts& c);
+[[nodiscard]] double added_value(const ContingencyCounts& c);
+
+}  // namespace gpumine::core

@@ -1,0 +1,50 @@
+#include "core/miner.hpp"
+
+#include "common/ensure.hpp"
+#include "core/apriori.hpp"
+#include "core/eclat.hpp"
+#include "core/fpgrowth.hpp"
+
+namespace gpumine::core {
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFpGrowth:
+      return "fpgrowth";
+    case Algorithm::kApriori:
+      return "apriori";
+    case Algorithm::kEclat:
+      return "eclat";
+  }
+  GPUMINE_ENSURE(false, "unknown Algorithm");
+}
+
+MiningResult mine_frequent(const TransactionDb& db, const MiningParams& params,
+                           Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kFpGrowth:
+      return mine_fpgrowth(db, params);
+    case Algorithm::kApriori:
+      return mine_apriori(db, params);
+    case Algorithm::kEclat:
+      return mine_eclat(db, params);
+  }
+  GPUMINE_ENSURE(false, "unknown Algorithm");
+}
+
+KeywordAnalysis analyze_keyword(const MiningResult& mined, ItemId keyword,
+                                const RuleParams& rule_params,
+                                const PruneParams& prune_params) {
+  const std::vector<Rule> all = generate_rules(mined, rule_params);
+  const std::vector<Rule> keyed = filter_keyword(all, keyword);
+  KeywordAnalysis analysis;
+  analysis.keyword = keyword;
+  const std::vector<Rule> pruned =
+      prune_rules(keyed, keyword, prune_params, &analysis.prune_stats);
+  analysis.cause = filter_keyword(pruned, keyword, KeywordSide::kConsequent);
+  analysis.characteristic =
+      filter_keyword(pruned, keyword, KeywordSide::kAntecedent);
+  return analysis;
+}
+
+}  // namespace gpumine::core

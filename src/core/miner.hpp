@@ -1,0 +1,47 @@
+// Facade over the three frequent-itemset algorithms plus the full
+// itemsets -> rules -> pruned-rules pipeline of Sec. III.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/frequent.hpp"
+#include "core/pruning.hpp"
+#include "core/rules.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::core {
+
+enum class Algorithm {
+  kFpGrowth,  // paper's choice (Sec. III-C)
+  kApriori,   // classical baseline
+  kEclat,     // vertical-layout baseline
+};
+
+[[nodiscard]] std::string_view to_string(Algorithm algorithm);
+
+/// Mines frequent itemsets with the selected algorithm. All algorithms
+/// return identical results (asserted by the property tests); they differ
+/// only in runtime.
+[[nodiscard]] MiningResult mine_frequent(const TransactionDb& db,
+                                         const MiningParams& params,
+                                         Algorithm algorithm = Algorithm::kFpGrowth);
+
+/// One keyword analysis = the paper's unit of study: all surviving cause
+/// rules (keyword in consequent) and characteristic rules (keyword in
+/// antecedent) after Conditions 1-4.
+struct KeywordAnalysis {
+  ItemId keyword;
+  std::vector<Rule> cause;           // "C" rows
+  std::vector<Rule> characteristic;  // "A" rows
+  PruneStats prune_stats;            // over the combined keyword rule set
+};
+
+/// Runs rule generation + keyword filtering + pruning over an existing
+/// mining result.
+[[nodiscard]] KeywordAnalysis analyze_keyword(const MiningResult& mined,
+                                              ItemId keyword,
+                                              const RuleParams& rule_params,
+                                              const PruneParams& prune_params);
+
+}  // namespace gpumine::core

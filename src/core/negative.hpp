@@ -1,0 +1,57 @@
+// Negative association rules: X => ¬Y ("jobs matching X do NOT show Y").
+//
+// The paper's related work (Sec. VI) cites positive-and-negative rule
+// mining; for operators the negative form answers questions like "which
+// submission patterns (almost) never fail?" — actionable for allow-list
+// style scheduling policies. Metrics follow directly from the positive
+// counts:
+//   supp(X => ¬Y) = supp(X) - supp(XY)
+//   conf(X => ¬Y) = 1 - conf(X => Y)
+//   lift(X => ¬Y) = conf(X => ¬Y) / (1 - supp(Y))
+// so no extra database pass is needed: every (X, Y) pair with X frequent
+// and Y a frequent single-keyword itemset is scored from the support
+// map.
+#pragma once
+
+#include <vector>
+
+#include "core/frequent.hpp"
+#include "core/itemset.hpp"
+
+namespace gpumine::core {
+
+struct NegativeRule {
+  Itemset antecedent;  // X (does not contain the keyword)
+  ItemId negated;      // the item Y in X => ¬Y
+  double support;      // supp(X ∧ ¬Y)
+  double confidence;   // P(¬Y | X)
+  double lift;         // vs. independence with ¬Y
+};
+
+struct NegativeRuleParams {
+  double min_support = 0.05;     // of X ∧ ¬Y
+  double min_confidence = 0.90;  // negative rules need high certainty
+  double min_lift = 1.05;        // ¬Y baselines are large; small lifts count
+  /// The min_support the MiningResult was produced with. When X ∪ {Y}
+  /// is absent from the frequent family its joint support is below this
+  /// floor but unknown; the generator assumes the worst case (exactly at
+  /// the floor), which can only *understate* negative confidence.
+  double mining_min_support = 0.05;
+  /// Items that must not appear in antecedents — typically the other
+  /// labels of the keyword's own attribute (e.g. "Terminated" when the
+  /// keyword is "Failed"), which would make the rule a tautology.
+  Itemset excluded_antecedent_items;
+
+  void validate() const;
+};
+
+/// Negative rules X => ¬keyword for every frequent antecedent X not
+/// containing the keyword. Requires `keyword` itself to be frequent
+/// (otherwise ¬keyword is near-universal and uninteresting — an empty
+/// result is returned). Output sorted by descending lift, then
+/// confidence, then antecedent.
+[[nodiscard]] std::vector<NegativeRule> generate_negative_rules(
+    const MiningResult& mined, ItemId keyword,
+    const NegativeRuleParams& params = {});
+
+}  // namespace gpumine::core

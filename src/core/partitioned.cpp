@@ -1,0 +1,66 @@
+#include "core/partitioned.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+#include "common/thread_pool.hpp"
+#include "core/fpgrowth.hpp"
+
+namespace gpumine::core {
+
+void PartitionedParams::validate() const {
+  mining.validate();
+  GPUMINE_CHECK_ARG(num_partitions >= 1, "need at least one partition");
+}
+
+MiningResult mine_partitioned(const TransactionDb& db,
+                              const PartitionedParams& params) {
+  params.validate();
+  MiningResult result;
+  result.db_size = db.size();
+  if (db.empty()) return result;
+
+  const std::size_t p = std::min(params.num_partitions, db.size());
+
+  // Pass 1: mine each contiguous slice at the same fractional support.
+  // Slices are rebuilt as owned TransactionDbs — in a genuinely
+  // distributed setting these would live on separate nodes.
+  std::vector<TransactionDb> parts(p);
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db[t];
+    parts[t * p / db.size()].add(Itemset(txn.begin(), txn.end()));
+  }
+
+  std::vector<std::vector<FrequentItemset>> local(p);
+  {
+    ThreadPool pool(params.num_threads);
+    pool.parallel_for(p, [&](std::size_t i) {
+      MiningParams local_params = params.mining;
+      local_params.num_threads = 1;  // parallelism lives at partition level
+      local[i] = mine_fpgrowth(parts[i], local_params).itemsets;
+    });
+  }
+
+  // Union of local winners = global candidate set (SON property).
+  SupportMap candidates;
+  for (const auto& part : local) {
+    for (const auto& fi : part) candidates.emplace(fi.items, 0);
+  }
+
+  // Pass 2: exact global counts in one sweep over the database.
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db[t];
+    for (auto& [items, count] : candidates) {
+      if (is_subset(items, txn)) ++count;
+    }
+  }
+
+  const std::uint64_t min_count = params.mining.min_count(db.size());
+  for (const auto& [items, count] : candidates) {
+    if (count >= min_count) result.itemsets.push_back({items, count});
+  }
+  sort_canonical(result.itemsets);
+  return result;
+}
+
+}  // namespace gpumine::core

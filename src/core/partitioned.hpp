@@ -1,0 +1,33 @@
+// Partitioned frequent-itemset mining (SON algorithm — Savasere,
+// Omiecinski & Navathe, VLDB 1995).
+//
+// The paper's related work (Sec. VI) points at distributed rule mining
+// for clusters whose traces outgrow one node. SON is the classic
+// shared-nothing scheme and parallelizes on our thread pool:
+//   pass 1  split D into p partitions; mine each partition independently
+//           at the same *fractional* support (any globally frequent
+//           itemset is frequent in at least one partition — the SON
+//           property), union the local results into a candidate set;
+//   pass 2  count every candidate exactly over the full database and
+//           keep those meeting the global threshold.
+// The result is EXACTLY the single-machine result (asserted by property
+// tests), at the cost of one extra counting pass.
+#pragma once
+
+#include "core/frequent.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::core {
+
+struct PartitionedParams {
+  MiningParams mining;        // global thresholds
+  std::size_t num_partitions = 4;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+
+  void validate() const;
+};
+
+[[nodiscard]] MiningResult mine_partitioned(const TransactionDb& db,
+                                            const PartitionedParams& params);
+
+}  // namespace gpumine::core

@@ -1,0 +1,147 @@
+#include "core/pruning.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::core {
+namespace {
+
+// Strict subset: a ⊂ b.
+bool proper_subset(const Itemset& a, const Itemset& b) {
+  return a.size() < b.size() && is_subset(a, b);
+}
+
+}  // namespace
+
+void PruneParams::validate() const {
+  GPUMINE_CHECK_ARG(c_lift >= 1.0, "c_lift must be >= 1");
+  GPUMINE_CHECK_ARG(c_supp >= 1.0, "c_supp must be >= 1");
+}
+
+std::vector<Rule> filter_keyword(const std::vector<Rule>& rules,
+                                 ItemId keyword, KeywordSide side) {
+  std::vector<Rule> out;
+  for (const Rule& r : rules) {
+    const Itemset& where =
+        side == KeywordSide::kAntecedent ? r.antecedent : r.consequent;
+    if (contains(where, keyword)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Rule> filter_keyword(const std::vector<Rule>& rules,
+                                 ItemId keyword) {
+  std::vector<Rule> out;
+  for (const Rule& r : rules) {
+    if (contains(r.antecedent, keyword) || contains(r.consequent, keyword)) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<Rule> prune_rules(const std::vector<Rule>& rules, ItemId keyword,
+                              const PruneParams& params, PruneStats* stats) {
+  params.validate();
+  const double cl = params.c_lift;
+  const double cs = params.c_supp;
+  std::vector<bool> pruned(rules.size(), false);
+  std::array<std::size_t, 4> by{0, 0, 0, 0};
+
+  auto mark = [&](std::size_t idx, std::size_t condition) {
+    pruned[idx] = true;
+    ++by[condition - 1];
+  };
+
+  // Conditions 1 and 4 compare rules with identical consequents;
+  // conditions 2 and 3 compare rules with identical antecedents. Bucket
+  // by the shared side so only candidate pairs are examined — this takes
+  // the pass from O(n^2) over all rules to O(sum of bucket^2), which is
+  // small because buckets are keyed by full itemsets.
+  std::unordered_map<Itemset, std::vector<std::size_t>, ItemsetHash, ItemsetEq>
+      by_consequent;
+  std::unordered_map<Itemset, std::vector<std::size_t>, ItemsetHash, ItemsetEq>
+      by_antecedent;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    by_consequent[rules[i].consequent].push_back(i);
+    by_antecedent[rules[i].antecedent].push_back(i);
+  }
+
+  // Same consequent, nested antecedents: Conditions 1 and 4.
+  for (const auto& [consequent, bucket] : by_consequent) {
+    const bool kw_in_consequent = contains(consequent, keyword);
+    for (std::size_t i : bucket) {
+      for (std::size_t j : bucket) {
+        if (i == j) continue;
+        const Rule& a = rules[i];  // candidate "shorter" rule
+        const Rule& b = rules[j];  // candidate "longer" rule
+        if (!proper_subset(a.antecedent, b.antecedent)) continue;
+
+        // Condition 1: cause analysis, keyword in the shared consequent.
+        if (kw_in_consequent) {
+          if (cl * a.lift >= b.lift) {
+            mark(j, 1);  // shorter rule generalizes: drop the longer one
+          } else if (cs * b.support >= a.support) {
+            mark(i, 1);  // longer rule is stronger and well supported
+          }
+        }
+
+        // Condition 4: characteristic analysis, keyword in both
+        // antecedents.
+        if (contains(a.antecedent, keyword) &&
+            contains(b.antecedent, keyword)) {
+          if (cl * a.lift >= b.lift) {
+            mark(j, 4);  // shorter antecedent generalizes
+          }
+        }
+      }
+    }
+  }
+
+  // Same antecedent, nested consequents: Conditions 2 and 3.
+  for (const auto& [antecedent, bucket] : by_antecedent) {
+    const bool kw_in_antecedent = contains(antecedent, keyword);
+    for (std::size_t i : bucket) {
+      for (std::size_t j : bucket) {
+        if (i == j) continue;
+        const Rule& a = rules[i];  // shorter consequent
+        const Rule& b = rules[j];  // longer consequent
+        if (!proper_subset(a.consequent, b.consequent)) continue;
+
+        // Condition 2: characteristic analysis, keyword in the shared
+        // antecedent.
+        if (kw_in_antecedent) {
+          if (cl * b.lift >= a.lift && cs * b.support >= a.support) {
+            mark(i, 2);  // specific consequent is nearly as strong
+          } else if (cl * b.lift < a.lift) {
+            mark(j, 2);  // shorter rule clearly stronger
+          }
+        }
+
+        // Condition 3: cause analysis, keyword in both consequents.
+        if (contains(a.consequent, keyword) &&
+            contains(b.consequent, keyword)) {
+          if (cl * a.lift >= b.lift) {
+            mark(j, 3);  // concise consequent suffices for cause analysis
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Rule> survivors;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!pruned[i]) survivors.push_back(rules[i]);
+  }
+  sort_rules(survivors);
+
+  if (stats != nullptr) {
+    stats->input = rules.size();
+    stats->kept = survivors.size();
+    stats->pruned_by = by;
+  }
+  return survivors;
+}
+
+}  // namespace gpumine::core

@@ -1,0 +1,90 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::core {
+
+void RuleParams::validate() const {
+  GPUMINE_CHECK_ARG(min_confidence >= 0.0 && min_confidence <= 1.0,
+                    "min_confidence must be in [0, 1]");
+  GPUMINE_CHECK_ARG(min_lift >= 0.0, "min_lift must be non-negative");
+}
+
+Rule make_rule(Itemset antecedent, Itemset consequent,
+               std::uint64_t joint_count, std::uint64_t antecedent_count,
+               std::uint64_t consequent_count, std::uint64_t db_size) {
+  GPUMINE_CHECK_ARG(db_size > 0, "db_size must be positive");
+  GPUMINE_CHECK_ARG(antecedent_count >= joint_count &&
+                        consequent_count >= joint_count,
+                    "marginal counts cannot be below the joint count");
+  GPUMINE_CHECK_ARG(!antecedent.empty() && !consequent.empty(),
+                    "antecedent and consequent must be non-empty");
+  GPUMINE_CHECK_ARG(disjoint(antecedent, consequent),
+                    "antecedent and consequent must be disjoint");
+
+  const auto n = static_cast<double>(db_size);
+  const double supp_xy = static_cast<double>(joint_count) / n;
+  const double supp_x = static_cast<double>(antecedent_count) / n;
+  const double supp_y = static_cast<double>(consequent_count) / n;
+  const double conf = supp_x > 0.0 ? supp_xy / supp_x : 0.0;
+  const double lift = supp_y > 0.0 ? conf / supp_y : 0.0;
+  const double leverage = supp_xy - supp_x * supp_y;
+  const double conviction =
+      conf >= 1.0 ? std::numeric_limits<double>::infinity()
+                  : (1.0 - supp_y) / (1.0 - conf);
+
+  return Rule{std::move(antecedent), std::move(consequent), joint_count,
+              supp_xy,               conf,                  lift,
+              leverage,              conviction};
+}
+
+void sort_rules(std::vector<Rule>& rules) {
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.lift != b.lift) return a.lift > b.lift;
+    if (a.support != b.support) return a.support > b.support;
+    if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+    return a.consequent < b.consequent;
+  });
+}
+
+std::vector<Rule> generate_rules(const MiningResult& mined,
+                                 const RuleParams& params) {
+  params.validate();
+  std::vector<Rule> rules;
+  if (mined.db_size == 0) return rules;
+  const SupportMap supports = mined.support_map();
+
+  Itemset antecedent;
+  Itemset consequent;
+  for (const auto& fi : mined.itemsets) {
+    const std::size_t k = fi.items.size();
+    if (k < 2) continue;
+    GPUMINE_ENSURE(k < 64, "itemset too long for mask enumeration");
+    const std::uint64_t full = (1ull << k) - 1;
+    // Every proper non-empty subset as antecedent.
+    for (std::uint64_t mask = 1; mask < full; ++mask) {
+      antecedent.clear();
+      consequent.clear();
+      for (std::size_t bit = 0; bit < k; ++bit) {
+        ((mask >> bit) & 1 ? antecedent : consequent).push_back(fi.items[bit]);
+      }
+      const auto a_it = supports.find(std::span<const ItemId>(antecedent));
+      const auto c_it = supports.find(std::span<const ItemId>(consequent));
+      GPUMINE_ENSURE(a_it != supports.end() && c_it != supports.end(),
+                     "subset of a frequent itemset missing from support map");
+      Rule rule = make_rule(antecedent, consequent, fi.count, a_it->second,
+                            c_it->second, mined.db_size);
+      if (rule.confidence + 1e-12 >= params.min_confidence &&
+          rule.lift + 1e-12 >= params.min_lift) {
+        rules.push_back(std::move(rule));
+      }
+    }
+  }
+  sort_rules(rules);
+  return rules;
+}
+
+}  // namespace gpumine::core

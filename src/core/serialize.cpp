@@ -1,0 +1,157 @@
+#include "core/serialize.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gpumine::core {
+namespace {
+
+Error parse_error(std::size_t line, const std::string& message) {
+  return Error{"line " + std::to_string(line), message};
+}
+
+bool parse_u64(const std::string& token, std::uint64_t& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+void save_mining_result(const MiningResult& result, const ItemCatalog& catalog,
+                        std::ostream& out) {
+  out << "gpumine-itemsets v1\n";
+  out << "db_size " << result.db_size << "\n";
+  out << "items " << catalog.size() << "\n";
+  for (ItemId id = 0; id < catalog.size(); ++id) {
+    out << id << ' ' << catalog.name(id) << "\n";
+  }
+  out << "itemsets " << result.itemsets.size() << "\n";
+  for (const auto& fi : result.itemsets) {
+    out << fi.count << ' ' << fi.items.size();
+    for (ItemId id : fi.items) out << ' ' << id;
+    out << "\n";
+  }
+}
+
+Result<LoadedMiningResult> load_mining_result(std::istream& in) {
+  std::size_t line_no = 0;
+  std::string line;
+  auto next_line = [&]() -> bool {
+    ++line_no;
+    return static_cast<bool>(std::getline(in, line));
+  };
+
+  if (!next_line() || line != "gpumine-itemsets v1") {
+    return parse_error(line_no, "missing 'gpumine-itemsets v1' header");
+  }
+
+  LoadedMiningResult loaded;
+  std::uint64_t db_size = 0;
+  {
+    if (!next_line()) return parse_error(line_no, "missing db_size");
+    std::istringstream fields(line);
+    std::string tag;
+    std::string value;
+    if (!(fields >> tag >> value) || tag != "db_size" ||
+        !parse_u64(value, db_size)) {
+      return parse_error(line_no, "malformed db_size line");
+    }
+  }
+  loaded.result.db_size = db_size;
+
+  std::uint64_t item_count = 0;
+  {
+    if (!next_line()) return parse_error(line_no, "missing items count");
+    std::istringstream fields(line);
+    std::string tag;
+    std::string value;
+    if (!(fields >> tag >> value) || tag != "items" ||
+        !parse_u64(value, item_count)) {
+      return parse_error(line_no, "malformed items line");
+    }
+  }
+  for (std::uint64_t i = 0; i < item_count; ++i) {
+    if (!next_line()) return parse_error(line_no, "truncated item table");
+    const auto space = line.find(' ');
+    if (space == std::string::npos) {
+      return parse_error(line_no, "malformed item line");
+    }
+    std::uint64_t id = 0;
+    if (!parse_u64(line.substr(0, space), id) || id != i) {
+      return parse_error(line_no, "item ids must be dense and in order");
+    }
+    const std::string name = line.substr(space + 1);
+    if (name.empty()) return parse_error(line_no, "empty item name");
+    if (loaded.catalog.intern(name) != i) {
+      return parse_error(line_no, "duplicate item name '" + name + "'");
+    }
+  }
+
+  std::uint64_t itemset_count = 0;
+  {
+    if (!next_line()) return parse_error(line_no, "missing itemsets count");
+    std::istringstream fields(line);
+    std::string tag;
+    std::string value;
+    if (!(fields >> tag >> value) || tag != "itemsets" ||
+        !parse_u64(value, itemset_count)) {
+      return parse_error(line_no, "malformed itemsets line");
+    }
+  }
+  loaded.result.itemsets.reserve(itemset_count);
+  for (std::uint64_t i = 0; i < itemset_count; ++i) {
+    if (!next_line()) return parse_error(line_no, "truncated itemset table");
+    std::istringstream fields(line);
+    std::uint64_t count = 0;
+    std::uint64_t k = 0;
+    if (!(fields >> count >> k)) {
+      return parse_error(line_no, "malformed itemset line");
+    }
+    if (count > db_size) {
+      return parse_error(line_no, "support count exceeds db_size");
+    }
+    Itemset items;
+    items.reserve(k);
+    for (std::uint64_t j = 0; j < k; ++j) {
+      std::uint64_t id = 0;
+      if (!(fields >> id) || id >= item_count) {
+        return parse_error(line_no, "bad item id in itemset");
+      }
+      items.push_back(static_cast<ItemId>(id));
+    }
+    if (!is_canonical(items)) {
+      return parse_error(line_no, "itemset not canonical");
+    }
+    loaded.result.itemsets.push_back({std::move(items), count});
+  }
+  return loaded;
+}
+
+Result<bool> save_mining_result_file(const MiningResult& result,
+                                     const ItemCatalog& catalog,
+                                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error{path, "cannot open file for writing"};
+  save_mining_result(result, catalog, out);
+  out.flush();
+  if (!out) return Error{path, "write failed"};
+  return true;
+}
+
+Result<LoadedMiningResult> load_mining_result_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{path, "cannot open file"};
+  auto loaded = load_mining_result(in);
+  if (!loaded.ok()) {
+    return Error{path + ":" + loaded.error().context,
+                 loaded.error().message};
+  }
+  return loaded;
+}
+
+}  // namespace gpumine::core

@@ -1,0 +1,50 @@
+// Persistence for mining results.
+//
+// Mining a large trace dominates an analysis session; archiving the
+// frequent-itemset family (with its item vocabulary) lets follow-up
+// keyword analyses, rule sweeps and classifiers re-run instantly and —
+// because rules derive deterministically from itemsets — reproduces the
+// whole downstream analysis bit-for-bit.
+//
+// Format (line-oriented UTF-8, version-tagged):
+//   gpumine-itemsets v1
+//   db_size <N>
+//   items <count>
+//   <id> <item name ... to end of line>
+//   itemsets <count>
+//   <support count> <k> <id_1> ... <id_k>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "common/result.hpp"
+#include "core/frequent.hpp"
+#include "core/item_catalog.hpp"
+
+namespace gpumine::core {
+
+/// Writes the result + vocabulary. Only items that appear in at least
+/// one itemset need the catalog entry, but the full catalog is kept so
+/// keyword lookups behave identically after a round-trip.
+void save_mining_result(const MiningResult& result, const ItemCatalog& catalog,
+                        std::ostream& out);
+
+struct LoadedMiningResult {
+  MiningResult result;
+  ItemCatalog catalog;
+};
+
+/// Parses the format above; malformed input yields an Error with a line
+/// number, never an exception.
+[[nodiscard]] Result<LoadedMiningResult> load_mining_result(std::istream& in);
+
+/// File wrappers.
+[[nodiscard]] Result<bool> save_mining_result_file(const MiningResult& result,
+                                                   const ItemCatalog& catalog,
+                                                   const std::string& path);
+[[nodiscard]] Result<LoadedMiningResult> load_mining_result_file(
+    const std::string& path);
+
+}  // namespace gpumine::core

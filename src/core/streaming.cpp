@@ -1,0 +1,88 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "core/fpgrowth.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::core {
+
+SlidingWindowMiner::SlidingWindowMiner(std::size_t window_size,
+                                       MiningParams params)
+    : window_size_(window_size), params_(params) {
+  GPUMINE_CHECK_ARG(window_size_ >= 1, "window must hold at least one txn");
+  params_.validate();
+}
+
+void SlidingWindowMiner::push(Itemset transaction) {
+  canonicalize(transaction);
+  window_.push_back(std::move(transaction));
+  if (window_.size() > window_size_) window_.pop_front();
+  ++total_pushed_;
+}
+
+MiningResult SlidingWindowMiner::mine() const {
+  TransactionDb db;
+  for (const Itemset& txn : window_) db.add(txn);
+  return mine_fpgrowth(db, params_);
+}
+
+LossyCounter::LossyCounter(double epsilon) : epsilon_(epsilon) {
+  GPUMINE_CHECK_ARG(epsilon > 0.0 && epsilon < 1.0,
+                    "epsilon must be in (0, 1)");
+  bucket_width_ = static_cast<std::uint64_t>(std::ceil(1.0 / epsilon));
+}
+
+void LossyCounter::push(std::span<const ItemId> transaction) {
+  ++processed_;
+  // Distinct items only: scan with a small local dedup (transactions are
+  // canonical in gpumine, but accept any input).
+  ItemId last = 0;
+  bool first = true;
+  Itemset sorted(transaction.begin(), transaction.end());
+  canonicalize(sorted);
+  for (ItemId item : sorted) {
+    if (!first && item == last) continue;
+    first = false;
+    last = item;
+    auto [it, inserted] =
+        counts_.try_emplace(item, std::pair<std::uint64_t, std::uint64_t>{
+                                      1, current_bucket_ - 1});
+    if (!inserted) ++it->second.first;
+  }
+
+  if (processed_ % bucket_width_ == 0) {
+    // Bucket boundary: evict entries that cannot reach the error bound.
+    for (auto it = counts_.begin(); it != counts_.end();) {
+      if (it->second.first + it->second.second <= current_bucket_) {
+        it = counts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ++current_bucket_;
+  }
+}
+
+std::vector<LossyCounter::Entry> LossyCounter::frequent(
+    double support) const {
+  GPUMINE_CHECK_ARG(support > 0.0 && support <= 1.0,
+                    "support must be in (0, 1]");
+  std::vector<Entry> out;
+  const double n = static_cast<double>(processed_);
+  for (const auto& [item, cd] : counts_) {
+    // Classic output rule: report when count >= (s - ε)·N.
+    if (static_cast<double>(cd.first) >= (support - epsilon_) * n) {
+      out.push_back({item, cd.first, cd.second});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  return out;
+}
+
+}  // namespace gpumine::core

@@ -1,0 +1,84 @@
+// Streaming frequent-pattern analysis.
+//
+// Production monitoring is a stream: job records arrive as jobs finish,
+// and operators want "the current rules", not a batch job over a frozen
+// trace. The paper's related work (Sec. VI) cites stream itemset miners
+// as the natural extension; two standard building blocks are provided:
+//
+//  * SlidingWindowMiner — exact mining over the most recent W
+//    transactions. Push is O(|t|); mine() runs FP-Growth over the
+//    current window. Right when recency matters (rules about the
+//    current workload mix).
+//
+//  * LossyCounter — Manku & Motwani's lossy counting over single items
+//    with the classic guarantees: after N transactions, every item with
+//    true frequency >= s·N is reported, no item below (s-ε)·N is, every
+//    reported count undercounts by at most ε·N, and memory stays
+//    O((1/ε)·log(ε·N)). Right for unbounded horizons (which users /
+//    item values are hot overall) and as the candidate filter in front
+//    of a windowed miner.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/frequent.hpp"
+#include "core/itemset.hpp"
+
+namespace gpumine::core {
+
+class SlidingWindowMiner {
+ public:
+  SlidingWindowMiner(std::size_t window_size, MiningParams params);
+
+  /// Appends a transaction, evicting the oldest once the window is full.
+  void push(Itemset transaction);
+
+  /// Exact frequent itemsets over the current window contents.
+  [[nodiscard]] MiningResult mine() const;
+
+  [[nodiscard]] std::size_t size() const { return window_.size(); }
+  [[nodiscard]] std::size_t window_size() const { return window_size_; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  std::size_t window_size_;
+  MiningParams params_;
+  std::deque<Itemset> window_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+class LossyCounter {
+ public:
+  /// `epsilon` is the maximum tolerated frequency error, in (0, 1).
+  explicit LossyCounter(double epsilon);
+
+  /// Feeds one transaction; each distinct item counts once.
+  void push(std::span<const ItemId> transaction);
+
+  struct Entry {
+    ItemId item;
+    std::uint64_t count;  // maintained count (undercounts by <= ε·N)
+    std::uint64_t delta;  // maximal missed count
+  };
+
+  /// Items whose true frequency may reach `support` (>= support - ε
+  /// guaranteed included; < support - ε guaranteed excluded). Sorted by
+  /// descending count, ties by item id.
+  [[nodiscard]] std::vector<Entry> frequent(double support) const;
+
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  [[nodiscard]] std::size_t tracked() const { return counts_.size(); }
+
+ private:
+  double epsilon_;
+  std::uint64_t bucket_width_;
+  std::uint64_t current_bucket_ = 1;
+  std::uint64_t processed_ = 0;
+  std::unordered_map<ItemId, std::pair<std::uint64_t, std::uint64_t>>
+      counts_;  // item -> (count, delta)
+};
+
+}  // namespace gpumine::core

@@ -1,0 +1,62 @@
+#include "core/topk.hpp"
+
+#include "common/ensure.hpp"
+#include "core/fpgrowth.hpp"
+
+namespace gpumine::core {
+namespace {
+
+MiningResult mine_at(const TransactionDb& db, std::uint64_t min_count,
+                     std::size_t max_length) {
+  MiningParams params;
+  // Convert the absolute count back to a fraction that reproduces it:
+  // min_count(db) = ceil(f * |D|), so f = min_count / |D| lands exactly.
+  params.min_support = static_cast<double>(min_count) /
+                       static_cast<double>(db.size());
+  params.max_length = max_length;
+  return mine_fpgrowth(db, params);
+}
+
+}  // namespace
+
+TopKResult mine_topk(const TransactionDb& db, std::size_t k,
+                     std::size_t max_length) {
+  GPUMINE_CHECK_ARG(k >= 1, "k must be >= 1");
+  GPUMINE_CHECK_ARG(max_length >= 1, "max_length must be >= 1");
+  TopKResult out;
+  if (db.empty()) {
+    out.result.db_size = 0;
+    return out;
+  }
+
+  // Invariant: itemset count at `lo` is >= k (or lo == 1 and the db
+  // simply cannot produce k itemsets); count at `hi + 1` is < k.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = db.size();
+  // Early exit: even the lowest threshold may yield < k itemsets.
+  MiningResult at_lo = mine_at(db, 1, max_length);
+  if (at_lo.itemsets.size() < k) {
+    out.result = std::move(at_lo);
+    out.min_count = 1;
+    out.effective_support = 1.0 / static_cast<double>(db.size());
+    return out;
+  }
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    const MiningResult probe = mine_at(db, mid, max_length);
+    if (probe.itemsets.size() >= k) {
+      lo = mid;  // threshold can go higher
+    } else {
+      hi = mid - 1;
+    }
+  }
+  out.result = mine_at(db, lo, max_length);
+  out.min_count = lo;
+  out.effective_support =
+      static_cast<double>(lo) / static_cast<double>(db.size());
+  GPUMINE_ENSURE(out.result.itemsets.size() >= k,
+                 "top-k search converged below k");
+  return out;
+}
+
+}  // namespace gpumine::core

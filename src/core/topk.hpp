@@ -1,0 +1,36 @@
+// Top-k frequent-itemset mining.
+//
+// The paper's Discussion section notes that support/lift thresholds are
+// the workflow's only knobs: "to reduce the abundance of rules, one
+// simply increases the thresholds". Top-k mining automates that dial:
+// instead of picking a support fraction, ask for (roughly) the k most
+// frequent itemsets and let the threshold find itself. Implemented as a
+// binary search over the absolute support count — itemset count is
+// monotone non-increasing in the threshold — with one FP-Growth run per
+// probe (O(log |D|) runs).
+#pragma once
+
+#include "core/frequent.hpp"
+#include "core/transaction_db.hpp"
+
+namespace gpumine::core {
+
+struct TopKResult {
+  MiningResult result;
+  /// The absolute support count the search settled on: the smallest
+  /// count whose itemset family has at least k members (or min_count 1
+  /// when even that yields fewer), so result.itemsets.size() >= k
+  /// whenever the database can supply k itemsets at all.
+  std::uint64_t min_count = 1;
+  /// min_count as a fraction of |D| — the "discovered" support threshold.
+  double effective_support = 0.0;
+};
+
+/// Mines with the largest support threshold that still yields at least
+/// `k` frequent itemsets (all itemsets at that threshold are returned —
+/// possibly more than k, since many itemsets can share the boundary
+/// support). `max_length` caps itemset size as usual.
+[[nodiscard]] TopKResult mine_topk(const TransactionDb& db, std::size_t k,
+                                   std::size_t max_length = 5);
+
+}  // namespace gpumine::core

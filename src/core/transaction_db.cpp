@@ -1,0 +1,37 @@
+#include "core/transaction_db.hpp"
+
+#include <algorithm>
+
+namespace gpumine::core {
+
+void TransactionDb::add(Itemset transaction) {
+  canonicalize(transaction);
+  if (!transaction.empty()) {
+    item_id_bound_ = std::max(
+        item_id_bound_, static_cast<std::size_t>(transaction.back()) + 1);
+  }
+  items_.insert(items_.end(), transaction.begin(), transaction.end());
+  offsets_.push_back(items_.size());
+}
+
+std::uint64_t TransactionDb::support_count(
+    std::span<const ItemId> itemset) const {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (is_subset(itemset, (*this)[i])) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> TransactionDb::item_counts() const {
+  std::vector<std::uint64_t> counts(item_id_bound_, 0);
+  for (ItemId id : items_) ++counts[id];
+  return counts;
+}
+
+void TransactionDb::reserve(std::size_t transactions, std::size_t items_total) {
+  offsets_.reserve(transactions + 1);
+  items_.reserve(items_total);
+}
+
+}  // namespace gpumine::core

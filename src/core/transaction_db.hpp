@@ -1,0 +1,57 @@
+// TransactionDb: the mining database D = {t_1 ... t_m} (paper Sec. III-B).
+//
+// Each transaction is one job record, stored as a canonical itemset.
+// Storage is a flat item array plus offsets (CSR layout) so a scan over
+// the whole database is one contiguous sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/itemset.hpp"
+
+namespace gpumine::core {
+
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Appends one transaction. The items are canonicalized (sorted,
+  /// deduplicated); an empty transaction is allowed — it simply supports
+  /// only the empty itemset.
+  void add(Itemset transaction);
+
+  /// Number of transactions |D|.
+  [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// The i-th transaction as a view into the flat storage.
+  [[nodiscard]] std::span<const ItemId> operator[](std::size_t i) const {
+    return {items_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  /// Largest item id seen plus one (0 when empty) — the width of any
+  /// per-item count array over this database.
+  [[nodiscard]] std::size_t item_id_bound() const { return item_id_bound_; }
+
+  /// Total number of stored item occurrences.
+  [[nodiscard]] std::size_t total_items() const { return items_.size(); }
+
+  /// sigma(X): number of transactions containing `itemset`. Linear scan —
+  /// the reference oracle the mining algorithms are validated against,
+  /// and the source of exact counts for rule metrics in small analyses.
+  [[nodiscard]] std::uint64_t support_count(std::span<const ItemId> itemset) const;
+
+  /// Per-item support counts, indexed by ItemId (size item_id_bound()).
+  [[nodiscard]] std::vector<std::uint64_t> item_counts() const;
+
+  void reserve(std::size_t transactions, std::size_t items_total);
+
+ private:
+  std::vector<ItemId> items_;
+  std::vector<std::size_t> offsets_{0};
+  std::size_t item_id_bound_ = 0;
+};
+
+}  // namespace gpumine::core

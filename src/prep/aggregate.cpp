@@ -1,0 +1,115 @@
+#include "prep/aggregate.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::prep {
+
+void ShareGroupingParams::validate() const {
+  GPUMINE_CHECK_ARG(top_share >= 0.0 && top_share <= 1.0,
+                    "top_share must be in [0, 1]");
+  GPUMINE_CHECK_ARG(bottom_share >= 0.0 && bottom_share <= 1.0,
+                    "bottom_share must be in [0, 1]");
+  GPUMINE_CHECK_ARG(!top_label.empty() && !middle_label.empty() &&
+                        !bottom_label.empty(),
+                    "group labels must be non-empty");
+}
+
+CategoricalColumn group_by_share(const CategoricalColumn& column,
+                                 const ShareGroupingParams& params) {
+  params.validate();
+  const std::vector<std::uint64_t> counts = column.value_counts();
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+
+  // Rank labels by count descending, ties by label ascending.
+  std::vector<std::int32_t> order(counts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto ca = counts[static_cast<std::size_t>(a)];
+    const auto cb = counts[static_cast<std::size_t>(b)];
+    if (ca != cb) return ca > cb;
+    return column.label_of_code(a) < column.label_of_code(b);
+  });
+
+  enum class Group : std::uint8_t { kMiddle, kTop, kBottom };
+  std::vector<Group> group(counts.size(), Group::kMiddle);
+
+  const auto target_top = static_cast<double>(total) * params.top_share;
+  std::uint64_t covered = 0;
+  std::size_t top_end = 0;  // ranks [0, top_end) are "top"
+  while (top_end < order.size() &&
+         static_cast<double>(covered) < target_top) {
+    covered += counts[static_cast<std::size_t>(order[top_end])];
+    group[static_cast<std::size_t>(order[top_end])] = Group::kTop;
+    ++top_end;
+  }
+
+  const auto target_bottom = static_cast<double>(total) * params.bottom_share;
+  covered = 0;
+  for (std::size_t r = order.size();
+       r-- > top_end && static_cast<double>(covered) < target_bottom;) {
+    covered += counts[static_cast<std::size_t>(order[r])];
+    group[static_cast<std::size_t>(order[r])] = Group::kBottom;
+  }
+
+  CategoricalColumn out;
+  for (std::size_t row = 0; row < column.size(); ++row) {
+    if (column.is_missing(row)) {
+      out.push_missing();
+      continue;
+    }
+    switch (group[static_cast<std::size_t>(column.code(row))]) {
+      case Group::kTop:
+        out.push(params.top_label);
+        break;
+      case Group::kMiddle:
+        out.push(params.middle_label);
+        break;
+      case Group::kBottom:
+        out.push(params.bottom_label);
+        break;
+    }
+  }
+  return out;
+}
+
+CategoricalColumn merge_categories(
+    const CategoricalColumn& column,
+    const std::unordered_map<std::string, std::string>& mapping,
+    std::string_view fallback) {
+  CategoricalColumn out;
+  for (std::size_t row = 0; row < column.size(); ++row) {
+    if (column.is_missing(row)) {
+      out.push_missing();
+      continue;
+    }
+    const std::string& label = column.label(row);
+    if (auto it = mapping.find(label); it != mapping.end()) {
+      out.push(it->second);
+    } else if (!fallback.empty()) {
+      out.push(fallback);
+    } else {
+      out.push(label);
+    }
+  }
+  return out;
+}
+
+void group_column_by_share(Table& table, std::string_view name,
+                           const ShareGroupingParams& params) {
+  table.replace_column(name, group_by_share(table.categorical(name), params));
+}
+
+void merge_column_categories(
+    Table& table, std::string_view name,
+    const std::unordered_map<std::string, std::string>& mapping,
+    std::string_view fallback) {
+  table.replace_column(
+      name, merge_categories(table.categorical(name), mapping, fallback));
+}
+
+}  // namespace gpumine::prep

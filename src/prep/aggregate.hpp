@@ -1,0 +1,58 @@
+// Categorical aggregation (paper Sec. III-E, last paragraph).
+//
+// High-cardinality categorical features (user id, job group, model name)
+// have many low-support values. Two reductions are provided:
+//   * share grouping — sort values by submission count; the most active
+//     values covering `top_share` of rows become one label ("Freq User"),
+//     the least active values covering `bottom_share` become another
+//     ("New User"), everything else a third;
+//   * category merging — an explicit rename map, e.g. resnet/vgg/
+//     inception -> "CV", bert/nmt/xlnet -> "NLP".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "prep/table.hpp"
+
+namespace gpumine::prep {
+
+struct ShareGroupingParams {
+  /// Cumulative row share assigned to the most active labels. Paper: 0.25.
+  double top_share = 0.25;
+  /// Cumulative row share assigned to the least active labels.
+  double bottom_share = 0.25;
+  std::string top_label = "Freq";
+  std::string middle_label = "Regular";
+  std::string bottom_label = "New";
+
+  void validate() const;
+};
+
+/// Returns a column where each row's label is replaced by its activity
+/// group. Values are ranked by count (descending; ties broken by label
+/// for determinism); the top ranks are greedily assigned to `top_label`
+/// until they cover at least `top_share` of the rows, the bottom ranks to
+/// `bottom_label` likewise (top assignment wins if they would overlap).
+/// Missing rows stay missing.
+[[nodiscard]] CategoricalColumn group_by_share(const CategoricalColumn& column,
+                                               const ShareGroupingParams& params);
+
+/// Returns a column with labels renamed through `mapping`; labels absent
+/// from the map keep their value (or become `fallback` when provided
+/// non-empty). Missing rows stay missing.
+[[nodiscard]] CategoricalColumn merge_categories(
+    const CategoricalColumn& column,
+    const std::unordered_map<std::string, std::string>& mapping,
+    std::string_view fallback = "");
+
+/// In-place convenience wrappers operating on a table column.
+void group_column_by_share(Table& table, std::string_view name,
+                           const ShareGroupingParams& params);
+void merge_column_categories(
+    Table& table, std::string_view name,
+    const std::unordered_map<std::string, std::string>& mapping,
+    std::string_view fallback = "");
+
+}  // namespace gpumine::prep

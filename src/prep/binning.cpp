@@ -1,0 +1,148 @@
+#include "prep/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::prep {
+
+void BinningParams::validate() const {
+  GPUMINE_CHECK_ARG(num_bins >= 1, "num_bins must be >= 1");
+  GPUMINE_CHECK_ARG(zero_mass_threshold > 0.0,
+                    "zero_mass_threshold must be positive");
+  GPUMINE_CHECK_ARG(spike_mass_threshold > 0.0,
+                    "spike_mass_threshold must be positive");
+  GPUMINE_CHECK_ARG(!bin_prefix.empty(), "bin_prefix must be non-empty");
+}
+
+std::optional<std::string> BinSpec::label_for(double v) const {
+  if (std::isnan(v)) return std::nullopt;
+  if (has_zero_bin && v == 0.0) return zero_label;
+  if (spike_value.has_value() && v == *spike_value) return spike_label;
+  if (labels.empty()) return std::nullopt;  // nothing left after specials
+  // First interval whose interior edge exceeds v; the last bin absorbs
+  // everything above the top edge (closed upper end).
+  std::size_t bin = static_cast<std::size_t>(
+      std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+  if (bin >= labels.size()) bin = labels.size() - 1;
+  return labels[bin];
+}
+
+std::size_t BinSpec::num_bins() const {
+  return labels.size() + (has_zero_bin ? 1u : 0u) +
+         (spike_value.has_value() ? 1u : 0u);
+}
+
+BinSpec fit_bins(std::span<const double> values, const BinningParams& params) {
+  params.validate();
+  BinSpec spec;
+  spec.zero_label = params.zero_label;
+  spec.spike_label = params.spike_label;
+
+  std::vector<double> present;
+  present.reserve(values.size());
+  for (double v : values) {
+    if (!std::isnan(v)) present.push_back(v);
+  }
+  if (present.empty()) return spec;
+
+  const auto n_present = static_cast<double>(present.size());
+
+  // Dedicated zero bin.
+  const auto zero_count = static_cast<double>(
+      std::count(present.begin(), present.end(), 0.0));
+  if (zero_count / n_present >= params.zero_mass_threshold) {
+    spec.has_zero_bin = true;
+  }
+
+  // Dedicated spike bin: the most frequent exact non-zero value, when it
+  // carries enough mass.
+  {
+    std::unordered_map<double, std::size_t> freq;
+    for (double v : present) {
+      if (v != 0.0 || !spec.has_zero_bin) ++freq[v];
+    }
+    double best_value = 0.0;
+    std::size_t best_count = 0;
+    for (const auto& [v, c] : freq) {
+      if (c > best_count || (c == best_count && v < best_value)) {
+        best_value = v;
+        best_count = c;
+      }
+    }
+    if (best_count > 0 &&
+        static_cast<double>(best_count) / n_present >=
+            params.spike_mass_threshold &&
+        !(spec.has_zero_bin && best_value == 0.0)) {
+      spec.spike_value = best_value;
+    }
+  }
+
+  // Residual values get the quantile (or width) edges.
+  std::vector<double> residual;
+  residual.reserve(present.size());
+  for (double v : present) {
+    if (spec.has_zero_bin && v == 0.0) continue;
+    if (spec.spike_value.has_value() && v == *spec.spike_value) continue;
+    residual.push_back(v);
+  }
+  if (residual.empty()) return spec;  // specials consumed everything
+
+  std::sort(residual.begin(), residual.end());
+  const int k = params.num_bins;
+  std::vector<double> edges;
+  if (params.equal_width) {
+    const double lo = residual.front();
+    const double hi = residual.back();
+    for (int i = 1; i < k; ++i) {
+      edges.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(k));
+    }
+  } else {
+    for (int i = 1; i < k; ++i) {
+      // Nearest-rank quantile over the sorted residuals.
+      const auto idx = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(residual.size() - 1),
+                           std::floor(static_cast<double>(residual.size()) *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(k))));
+      edges.push_back(residual[idx]);
+    }
+  }
+  // Heavy ties produce duplicate edges; merging them collapses empty bins.
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  // An edge at or below the minimum would create an empty first bin.
+  while (!edges.empty() && edges.front() <= residual.front()) {
+    edges.erase(edges.begin());
+  }
+
+  spec.edges = edges;
+  for (std::size_t i = 0; i <= edges.size(); ++i) {
+    spec.labels.push_back(params.bin_prefix + std::to_string(i + 1));
+  }
+  return spec;
+}
+
+CategoricalColumn apply_bins(const NumericColumn& column, const BinSpec& spec) {
+  CategoricalColumn out;
+  for (double v : column.values) {
+    if (auto label = spec.label_for(v); label.has_value()) {
+      out.push(*label);
+    } else {
+      out.push_missing();
+    }
+  }
+  return out;
+}
+
+BinSpec bin_column(Table& table, std::string_view name,
+                   const BinningParams& params) {
+  const NumericColumn& column = table.numeric(name);
+  BinSpec spec = fit_bins(column.values, params);
+  table.replace_column(name, apply_bins(column, spec));
+  return spec;
+}
+
+}  // namespace gpumine::prep

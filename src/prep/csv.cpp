@@ -1,0 +1,233 @@
+#include "prep/csv.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace gpumine::prep {
+namespace {
+
+// Reads one CSV record (may span physical lines inside quotes).
+// Returns false at EOF with no data.
+bool read_record(std::istream& in, char delimiter,
+                 std::vector<std::string>& fields, std::size_t& line_no,
+                 bool& bad_quoting) {
+  fields.clear();
+  bad_quoting = false;
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int ch = 0;
+  while ((ch = in.get()) != EOF) {
+    any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          field.push_back('"');
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line_no;
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        bad_quoting = true;  // quote opening mid-field
+      }
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else if (c == '\n') {
+      ++line_no;
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) bad_quoting = true;
+  if (!any) return false;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(*begin))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(end[-1]))) {
+    --end;
+  }
+  if (begin == end) return false;
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool needs_quoting(const std::string& s, char delimiter) {
+  return s.find(delimiter) != std::string::npos ||
+         s.find('"') != std::string::npos || s.find('\n') != std::string::npos;
+}
+
+void write_field(std::ostream& out, const std::string& s, char delimiter) {
+  if (!needs_quoting(s, delimiter)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+Result<Table> read_csv(std::istream& in, const CsvParams& params,
+                       std::string_view context) {
+  std::vector<std::string> header;
+  std::size_t line_no = 1;
+  bool bad_quoting = false;
+  if (!read_record(in, params.delimiter, header, line_no, bad_quoting)) {
+    return Error{std::string(context), "empty input"};
+  }
+  if (bad_quoting) {
+    return Error{std::string(context) + ":1", "malformed quoting in header"};
+  }
+  for (const std::string& name : header) {
+    if (name.empty()) {
+      return Error{std::string(context) + ":1", "empty column name"};
+    }
+  }
+  if (std::unordered_map<std::string, int> seen;
+      std::any_of(header.begin(), header.end(),
+                  [&](const std::string& h) { return seen[h]++ > 0; })) {
+    return Error{std::string(context) + ":1", "duplicate column name"};
+  }
+
+  // Collect raw cells; type inference needs the whole column.
+  std::vector<std::vector<std::string>> cells(header.size());
+  std::vector<std::string> fields;
+  while (read_record(in, params.delimiter, fields, line_no, bad_quoting)) {
+    if (bad_quoting) {
+      return Error{std::string(context) + ":" + std::to_string(line_no),
+                   "malformed quoting"};
+    }
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != header.size()) {
+      return Error{std::string(context) + ":" + std::to_string(line_no),
+                   "expected " + std::to_string(header.size()) +
+                       " fields, got " + std::to_string(fields.size())};
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      cells[c].push_back(std::move(fields[c]));
+    }
+  }
+
+  Table table;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    const bool forced = std::find(params.force_categorical.begin(),
+                                  params.force_categorical.end(),
+                                  header[c]) != params.force_categorical.end();
+    bool numeric = !forced;
+    double tmp = 0.0;
+    if (numeric) {
+      for (const std::string& cell : cells[c]) {
+        if (!cell.empty() && !parse_double(cell, tmp)) {
+          numeric = false;
+          break;
+        }
+      }
+    }
+    if (numeric) {
+      NumericColumn& col = table.add_numeric(header[c]);
+      for (const std::string& cell : cells[c]) {
+        if (cell.empty()) {
+          col.push_missing();
+        } else {
+          parse_double(cell, tmp);
+          col.push(tmp);
+        }
+      }
+    } else {
+      CategoricalColumn& col = table.add_categorical(header[c]);
+      for (const std::string& cell : cells[c]) {
+        if (cell.empty()) {
+          col.push_missing();
+        } else {
+          col.push(cell);
+        }
+      }
+    }
+  }
+  return table;
+}
+
+Result<Table> read_csv_file(const std::string& path, const CsvParams& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{path, "cannot open file"};
+  }
+  return read_csv(in, params, path);
+}
+
+void write_csv(const Table& table, std::ostream& out, const CsvParams& params) {
+  const std::size_t rows = table.num_rows();
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << params.delimiter;
+    write_field(out, table.column_name(c), params.delimiter);
+  }
+  out << '\n';
+  std::ostringstream num;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << params.delimiter;
+      const std::string& name = table.column_name(c);
+      if (table.is_numeric(name)) {
+        const NumericColumn& col = table.numeric(name);
+        if (!col.is_missing(r)) {
+          num.str("");
+          num << col.values[r];
+          out << num.str();
+        }
+      } else {
+        const CategoricalColumn& col = table.categorical(name);
+        if (!col.is_missing(r)) {
+          write_field(out, col.label(r), params.delimiter);
+        }
+      }
+    }
+    out << '\n';
+  }
+}
+
+Result<bool> write_csv_file(const Table& table, const std::string& path,
+                            const CsvParams& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Error{path, "cannot open file for writing"};
+  }
+  write_csv(table, out, params);
+  out.flush();
+  if (!out) {
+    return Error{path, "write failed"};
+  }
+  return true;
+}
+
+}  // namespace gpumine::prep

@@ -1,0 +1,87 @@
+#include "prep/encoder.hpp"
+
+#include <algorithm>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::prep {
+
+void EncoderParams::validate() const {
+  GPUMINE_CHECK_ARG(dominance_threshold > 0.0,
+                    "dominance_threshold must be positive");
+}
+
+EncodeResult encode(const Table& table, const EncoderParams& params) {
+  params.validate();
+  const std::size_t rows = table.num_rows();
+  EncodeResult result;
+
+  // Pass 1: per-item row counts, to apply the dominance filter before any
+  // ids are handed out (keeps the catalog free of dropped items).
+  struct ColumnPlan {
+    const CategoricalColumn* column;
+    bool bare;
+    std::string name;
+  };
+  std::vector<ColumnPlan> plan;
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    const std::string& name = table.column_name(c);
+    GPUMINE_CHECK_ARG(!table.is_numeric(name),
+                      "column '" + name +
+                          "' is numeric; bin it before encoding");
+    const bool bare =
+        std::find(params.bare_label_columns.begin(),
+                  params.bare_label_columns.end(),
+                  name) != params.bare_label_columns.end();
+    plan.push_back({&table.categorical(name), bare, name});
+  }
+
+  const double limit =
+      params.dominance_threshold * static_cast<double>(rows);
+
+  // Per column: which label codes survive, and their item names.
+  std::vector<std::vector<bool>> keep(plan.size());
+  std::vector<std::vector<std::string>> item_names(plan.size());
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    const auto counts = plan[c].column->value_counts();
+    keep[c].resize(counts.size());
+    item_names[c].resize(counts.size());
+    for (std::size_t code = 0; code < counts.size(); ++code) {
+      const std::string& label =
+          plan[c].column->label_of_code(static_cast<std::int32_t>(code));
+      const std::string item =
+          plan[c].bare ? label : plan[c].name + " = " + label;
+      item_names[c][code] = item;
+      if (static_cast<double>(counts[code]) > limit) {
+        keep[c][code] = false;
+        if (counts[code] > 0) result.dropped_items.push_back(item);
+      } else {
+        keep[c][code] = true;
+      }
+    }
+  }
+
+  // Pass 2: intern surviving items in deterministic (column, code) order,
+  // then emit transactions.
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    for (std::size_t code = 0; code < item_names[c].size(); ++code) {
+      if (keep[c][code]) result.catalog.intern(item_names[c][code]);
+    }
+  }
+
+  result.db.reserve(rows, rows * plan.size());
+  core::Itemset txn;
+  for (std::size_t r = 0; r < rows; ++r) {
+    txn.clear();
+    for (std::size_t c = 0; c < plan.size(); ++c) {
+      if (plan[c].column->is_missing(r)) continue;
+      const auto code = static_cast<std::size_t>(plan[c].column->code(r));
+      if (!keep[c][code]) continue;
+      txn.push_back(*result.catalog.find(item_names[c][code]));
+    }
+    result.db.add(txn);
+  }
+  return result;
+}
+
+}  // namespace gpumine::prep

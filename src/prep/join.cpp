@@ -1,0 +1,70 @@
+#include "prep/join.hpp"
+
+#include <unordered_map>
+#include <variant>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::prep {
+
+Table left_join(const Table& left, const Table& right, std::string_view key) {
+  const CategoricalColumn& lkey = left.categorical(key);
+  const CategoricalColumn& rkey = right.categorical(key);
+  const std::size_t lrows = left.num_rows();
+  const std::size_t rrows = right.num_rows();
+
+  // Index right rows by key label.
+  std::unordered_map<std::string, std::size_t> right_index;
+  right_index.reserve(rrows);
+  for (std::size_t r = 0; r < rrows; ++r) {
+    if (rkey.is_missing(r)) continue;
+    const auto [it, inserted] = right_index.emplace(rkey.label(r), r);
+    GPUMINE_CHECK_ARG(inserted, "duplicate right key '" + rkey.label(r) +
+                                    "' in join on '" + std::string(key) + "'");
+  }
+
+  // Start from a full copy of the left table.
+  Table out = left.filter_rows(std::vector<bool>(lrows, true));
+
+  for (std::size_t c = 0; c < right.num_columns(); ++c) {
+    const std::string& name = right.column_name(c);
+    if (name == key) continue;
+    const std::string out_name =
+        out.has_column(name) ? name + "_right" : name;
+
+    if (right.is_numeric(name)) {
+      const NumericColumn& src = right.numeric(name);
+      NumericColumn& dst = out.add_numeric(out_name);
+      for (std::size_t r = 0; r < lrows; ++r) {
+        if (lkey.is_missing(r)) {
+          dst.push_missing();
+          continue;
+        }
+        auto it = right_index.find(lkey.label(r));
+        if (it == right_index.end()) {
+          dst.push_missing();
+        } else {
+          dst.push(src.values[it->second]);
+        }
+      }
+    } else {
+      const CategoricalColumn& src = right.categorical(name);
+      CategoricalColumn& dst = out.add_categorical(out_name);
+      for (std::size_t r = 0; r < lrows; ++r) {
+        if (lkey.is_missing(r)) {
+          dst.push_missing();
+          continue;
+        }
+        auto it = right_index.find(lkey.label(r));
+        if (it == right_index.end() || src.is_missing(it->second)) {
+          dst.push_missing();
+        } else {
+          dst.push(src.label(it->second));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gpumine::prep

@@ -1,0 +1,25 @@
+// Feature merging across collection levels (paper Sec. III-E).
+//
+// Scheduler-level features (user, runtime, exit status) and node-level
+// measurements (CPU/GPU utilization) arrive in separate files keyed by
+// job id; rule mining needs them in one table. `left_join` matches each
+// left row to the first right row with the same key and copies the right
+// table's other columns across (missing where unmatched).
+#pragma once
+
+#include <string_view>
+
+#include "prep/table.hpp"
+
+namespace gpumine::prep {
+
+/// Left join on a categorical key column present in both tables. Right
+/// keys must be unique (duplicate right keys throw — a trace with two
+/// measurement rows per job indicates an upstream aggregation bug).
+/// Columns of `right` other than the key are appended to the result;
+/// a right column whose name collides with a left column gets a
+/// "<name>_right" suffix.
+[[nodiscard]] Table left_join(const Table& left, const Table& right,
+                              std::string_view key);
+
+}  // namespace gpumine::prep

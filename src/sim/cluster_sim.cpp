@@ -1,0 +1,227 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::sim {
+namespace {
+
+struct Event {
+  double time;
+  std::uint64_t seq;  // tie-break: deterministic FIFO at equal times
+  enum class Kind : std::uint8_t { kArrival, kFinish } kind;
+  std::size_t job;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct RunningJob {
+  double finish_time;
+  int gpus;
+};
+
+struct PoolState {
+  int free_gpus = 0;
+  std::deque<std::size_t> waiting;  // FIFO order
+  std::vector<RunningJob> running;  // for backfill reservations
+};
+
+}  // namespace
+
+ClusterSim::ClusterSim(std::vector<PoolConfig> pools)
+    : pools_(std::move(pools)) {
+  GPUMINE_CHECK_ARG(!pools_.empty(), "cluster needs at least one pool");
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    GPUMINE_CHECK_ARG(pools_[i].num_gpus > 0, "pool must have GPUs");
+    for (std::size_t j = i + 1; j < pools_.size(); ++j) {
+      GPUMINE_CHECK_ARG(pools_[i].model != pools_[j].model,
+                        "duplicate pool model");
+    }
+  }
+}
+
+std::vector<JobOutcome> ClusterSim::run(std::span<const JobRequest> jobs,
+                                        const SimParams& params) const {
+  std::unordered_map<trace::GpuModel, std::size_t> pool_index;
+  std::vector<PoolState> state(pools_.size());
+  for (std::size_t p = 0; p < pools_.size(); ++p) {
+    pool_index.emplace(pools_[p].model, p);
+    state[p].free_gpus = pools_[p].num_gpus;
+  }
+
+  std::vector<std::size_t> job_pool(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    auto it = pool_index.find(jobs[j].pool);
+    GPUMINE_CHECK_ARG(it != pool_index.end(), "job targets an unknown pool");
+    GPUMINE_CHECK_ARG(jobs[j].num_gpus >= 1 &&
+                          jobs[j].num_gpus <= pools_[it->second].num_gpus,
+                      "job cannot fit its pool");
+    GPUMINE_CHECK_ARG(jobs[j].run_duration_s > 0.0,
+                      "run duration must be positive");
+    GPUMINE_CHECK_ARG(jobs[j].abort_frac > 0.0 && jobs[j].abort_frac <= 1.0,
+                      "abort_frac must be in (0, 1]");
+    GPUMINE_CHECK_ARG(jobs[j].max_attempts >= 1, "max_attempts must be >= 1");
+    job_pool[j] = it->second;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    events.push({jobs[j].submit_time_s, seq++, Event::Kind::kArrival, j});
+  }
+
+  std::vector<JobOutcome> outcomes(jobs.size());
+  trace::Rng root(params.seed);
+  const SchedulerPolicy params_policy_ = params.policy;
+
+  // Decides the whole attempt chain of a job at start time: number of
+  // attempts, final status, and total busy duration.
+  auto resolve = [&](std::size_t j) {
+    const JobRequest& req = jobs[j];
+    JobOutcome& out = outcomes[j];
+    trace::Rng rng = root.fork(j);
+    double busy = 0.0;
+    int attempts = 0;
+    trace::ExitStatus status = req.intended;
+    if (req.intended == trace::ExitStatus::kCompleted) {
+      attempts = 1;
+      busy = req.run_duration_s;
+    } else if (req.intended == trace::ExitStatus::kFailed) {
+      // Each failed attempt burns abort_frac of the duration; a retry may
+      // complete the job.
+      attempts = 1;
+      busy = req.abort_frac * req.run_duration_s;
+      while (attempts < req.max_attempts) {
+        ++attempts;
+        if (rng.bernoulli(req.retry_success_prob)) {
+          busy += req.run_duration_s;
+          status = trace::ExitStatus::kCompleted;
+          break;
+        }
+        busy += req.abort_frac * req.run_duration_s;
+      }
+    } else {
+      // Killed / timeout: no automatic retry.
+      attempts = 1;
+      busy = req.abort_frac * req.run_duration_s;
+    }
+    out.attempts = attempts;
+    out.status = status;
+    out.runtime_s = busy;
+  };
+
+  auto start_job = [&](PoolState& ps, std::size_t j, double now) {
+    ps.free_gpus -= jobs[j].num_gpus;
+    resolve(j);
+    JobOutcome& out = outcomes[j];
+    out.start_time_s = now;
+    out.queue_time_s = now - jobs[j].submit_time_s;
+    out.finish_time_s = now + out.runtime_s;
+    ps.running.push_back({out.finish_time_s, jobs[j].num_gpus});
+    events.push({out.finish_time_s, seq++, Event::Kind::kFinish, j});
+  };
+
+  // Earliest time the pool can free `needed` GPUs beyond `free_now`,
+  // assuming running jobs end at their recorded finish times. Also
+  // returns the GPUs spare at that instant after the head starts
+  // ("extra" in EASY terminology).
+  auto reservation = [&](const PoolState& ps, int head_gpus,
+                         double& shadow_time, int& extra) {
+    std::vector<RunningJob> ends = ps.running;
+    std::sort(ends.begin(), ends.end(),
+              [](const RunningJob& a, const RunningJob& b) {
+                return a.finish_time < b.finish_time;
+              });
+    int available = ps.free_gpus;
+    for (const RunningJob& r : ends) {
+      available += r.gpus;
+      if (available >= head_gpus) {
+        shadow_time = r.finish_time;
+        extra = available - head_gpus;
+        return;
+      }
+    }
+    // Unreachable when the request fits the pool (validated earlier).
+    shadow_time = std::numeric_limits<double>::infinity();
+    extra = 0;
+  };
+
+  auto try_schedule = [&](std::size_t p, double now) {
+    PoolState& ps = state[p];
+    // Start head-of-line jobs while they fit.
+    auto drain_head = [&] {
+      while (!ps.waiting.empty() &&
+             jobs[ps.waiting.front()].num_gpus <= ps.free_gpus) {
+        const std::size_t j = ps.waiting.front();
+        ps.waiting.pop_front();
+        start_job(ps, j, now);
+      }
+    };
+    drain_head();
+    if (params_policy_ != SchedulerPolicy::kEasyBackfill) return;
+
+    // EASY backfill: the head is blocked; compute its reservation and
+    // start any later job that fits now without pushing the head past
+    // its shadow time.
+    bool progressed = true;
+    while (progressed && !ps.waiting.empty() &&
+           jobs[ps.waiting.front()].num_gpus > ps.free_gpus) {
+      progressed = false;
+      double shadow = 0.0;
+      int extra = 0;
+      reservation(ps, jobs[ps.waiting.front()].num_gpus, shadow, extra);
+      for (auto it = ps.waiting.begin() + 1; it != ps.waiting.end(); ++it) {
+        const JobRequest& req = jobs[*it];
+        if (req.num_gpus > ps.free_gpus) continue;
+        const bool ends_before_shadow =
+            now + req.run_duration_s <= shadow + 1e-9;
+        const bool fits_extra = req.num_gpus <= extra;
+        if (ends_before_shadow || fits_extra) {
+          const std::size_t j = *it;
+          ps.waiting.erase(it);
+          start_job(ps, j, now);
+          progressed = true;
+          break;  // free GPUs changed; recompute reservation
+        }
+      }
+      drain_head();
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const std::size_t p = job_pool[ev.job];
+    if (ev.kind == Event::Kind::kArrival) {
+      state[p].waiting.push_back(ev.job);
+    } else {
+      state[p].free_gpus += jobs[ev.job].num_gpus;
+      auto& running = state[p].running;
+      const auto it = std::find_if(
+          running.begin(), running.end(), [&](const RunningJob& r) {
+            return r.finish_time == outcomes[ev.job].finish_time_s &&
+                   r.gpus == jobs[ev.job].num_gpus;
+          });
+      GPUMINE_ENSURE(it != running.end(), "finish without a running entry");
+      running.erase(it);
+    }
+    try_schedule(p, ev.time);
+  }
+
+  for (std::size_t p = 0; p < state.size(); ++p) {
+    GPUMINE_ENSURE(state[p].waiting.empty(), "jobs left waiting at drain");
+    GPUMINE_ENSURE(state[p].free_gpus == pools_[p].num_gpus,
+                   "GPUs leaked during simulation");
+  }
+  return outcomes;
+}
+
+}  // namespace gpumine::sim

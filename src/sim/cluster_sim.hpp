@@ -1,0 +1,99 @@
+// Discrete-event GPU cluster simulator.
+//
+// The substrate that replaces the production schedulers behind the three
+// traces. It models what the mined features actually depend on:
+//   * typed GPU pools (PAI's T4 / non-T4 / unspecified pools, Philly's
+//     12 GB / 24 GB virtual clusters, SuperCloud's homogeneous V100s) —
+//     queue-time features emerge from genuine demand/capacity contention
+//     (rules PAI1/PAI2), not from a painted column;
+//   * per-pool FIFO scheduling without backfill (gang allocation: a job
+//     occupies all its GPUs for its whole runtime);
+//   * an outcome model with user kills, failures, timeouts, and Philly's
+//     automatic retry-on-error (the "Num Attempts > 1" feature of
+//     Table VII) — retries restart in place on the held allocation.
+//
+// Simplifications vs. a real datacenter (documented in DESIGN.md): no
+// node topology (pools are flat GPU counts), no backfill or preemption,
+// and retry attempts re-run a fixed fraction of the nominal duration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/job.hpp"
+#include "trace/rng.hpp"
+
+namespace gpumine::sim {
+
+struct PoolConfig {
+  trace::GpuModel model;
+  int num_gpus;
+};
+
+/// What the workload generator submits.
+struct JobRequest {
+  double submit_time_s = 0.0;
+  trace::GpuModel pool = trace::GpuModel::kNone;
+  int num_gpus = 1;
+  /// Nominal duration of a full successful run.
+  double run_duration_s = 60.0;
+  /// Destiny when no retry rescues the job.
+  trace::ExitStatus intended = trace::ExitStatus::kCompleted;
+  /// Fraction of the nominal duration executed by a non-completed
+  /// attempt (failure point / kill point / time limit).
+  double abort_frac = 1.0;
+  /// Maximum automatic attempts (Philly retry policy; 1 elsewhere).
+  int max_attempts = 1;
+  /// Probability that a retry of a failed attempt completes.
+  double retry_success_prob = 0.0;
+};
+
+struct JobOutcome {
+  double queue_time_s = 0.0;
+  double start_time_s = 0.0;   // first attempt start
+  double finish_time_s = 0.0;  // resources released
+  int attempts = 1;
+  trace::ExitStatus status = trace::ExitStatus::kCompleted;
+  /// Total busy time across attempts — the "runtime" feature of the
+  /// job record.
+  double runtime_s = 0.0;
+};
+
+enum class SchedulerPolicy : std::uint8_t {
+  /// Strict FIFO: a blocked head job stalls its whole pool (gang
+  /// scheduling without backfill) — the default, and what the queue-rule
+  /// calibration assumes.
+  kFifo,
+  /// EASY backfill: when the head is blocked, a reservation is computed
+  /// from the running jobs' (user-estimated) durations, and later queued
+  /// jobs may start immediately if they fit the free GPUs and cannot
+  /// delay the reservation. The estimate used is run_duration_s — i.e.
+  /// perfectly honest users; real backfill with padded estimates sits
+  /// between the two policies.
+  kEasyBackfill,
+};
+
+struct SimParams {
+  std::uint64_t seed = 1;
+  SchedulerPolicy policy = SchedulerPolicy::kFifo;
+};
+
+class ClusterSim {
+ public:
+  /// Pool models must be distinct.
+  explicit ClusterSim(std::vector<PoolConfig> pools);
+
+  /// Runs all requests to completion; outcome[i] corresponds to jobs[i].
+  /// Throws std::invalid_argument when a request does not fit its pool
+  /// even on an empty cluster.
+  [[nodiscard]] std::vector<JobOutcome> run(std::span<const JobRequest> jobs,
+                                            const SimParams& params) const;
+
+  [[nodiscard]] const std::vector<PoolConfig>& pools() const { return pools_; }
+
+ private:
+  std::vector<PoolConfig> pools_;
+};
+
+}  // namespace gpumine::sim

@@ -1,0 +1,317 @@
+#include "synth/pai.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "sim/cluster_sim.hpp"
+
+namespace gpumine::synth {
+namespace {
+
+using trace::ExitStatus;
+using trace::GpuModel;
+using trace::JobRecord;
+using trace::Rng;
+
+// Workload archetypes; weights sum to 1. The mixture is the calibration
+// surface: each archetype maps to a family of paper rules.
+enum class Archetype : std::size_t {
+  kTemplateIdle,  // frequent-user template/debug jobs, SM = 0      (Tab II)
+  kGroupFail,     // frequent-group import-error failures           (Tab V)
+  kDistFail,      // wide distributed jobs failing before GPU use   (Tab V)
+  kRecSys,        // recommender inference on T4, multiple tasks    (PAI3)
+  kNlp,           // language models: zero CPU, top SM              (PAI4)
+  kCv,            // vision training, healthy utilization
+  kMiscOk,        // unlabeled healthy jobs
+  kCount,
+};
+
+constexpr std::array<double, static_cast<std::size_t>(Archetype::kCount)>
+    kWeights = {0.25, 0.12, 0.08, 0.12, 0.08, 0.20, 0.15};
+
+constexpr double kStdCpuRequest = 600.0;  // ~50% of PAI jobs (Sec. IV-B)
+constexpr double kStdMemRequest = 32.0;
+
+struct DrawnJob {
+  JobRecord record;
+  sim::JobRequest request;
+};
+
+double short_runtime(Rng& rng) {  // debug-scale: median ~2 min
+  return std::max(20.0, rng.lognormal(std::log(120.0), 0.7));
+}
+
+DrawnJob draw_job(std::size_t index, Archetype type, const PrincipalPool& users,
+                  const PrincipalPool& groups, double window_s, Rng& rng) {
+  DrawnJob d;
+  JobRecord& r = d.record;
+  sim::JobRequest& q = d.request;
+  r.job_id = index;
+  r.submit_time_s = rng.uniform(0.0, window_s);
+  q.submit_time_s = r.submit_time_s;
+
+  switch (type) {
+    case Archetype::kTemplateIdle: {
+      r.user = users.draw(rng, 0.80, 0.15, 0.05);
+      r.group = rng.bernoulli(0.35) ? groups.heavy(rng) : groups.regular(rng);
+      r.framework = rng.bernoulli(0.90) ? "Tensorflow" : "Other";
+      r.gpu_model = rng.bernoulli(0.90) ? GpuModel::kNone : GpuModel::kNonT4;
+      r.num_gpus = static_cast<int>(rng.uniform_int(2, 3));
+      r.cpu_request_cores = rng.bernoulli(0.85)
+                                ? kStdCpuRequest
+                                : rng.uniform(100.0, 400.0);
+      r.mem_request_gb =
+          rng.bernoulli(0.85) ? kStdMemRequest : rng.lognormal(std::log(24.0), 0.5);
+      q.run_duration_s = short_runtime(rng);
+      q.intended = rng.bernoulli(0.50) ? ExitStatus::kFailed
+                                       : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.3, 1.0);
+      r.cpu_util = rng.normal_clamped(4.0, 2.0, 0.3, 12.0);
+      r.mem_used_gb = rng.normal_clamped(1.5, 0.8, 0.1, 4.0);
+      r.sm_util = 0.0;
+      r.gmem_used_gb = 0.0;
+      break;
+    }
+    case Archetype::kGroupFail: {
+      r.user = users.draw(rng, 0.85, 0.15, 0.0001);
+      r.group = groups.heavy(rng);
+      r.framework = rng.bernoulli(0.95) ? "Tensorflow" : "Other";
+      r.gpu_model = rng.bernoulli(0.95) ? GpuModel::kNone : GpuModel::kNonT4;
+      r.num_gpus = static_cast<int>(rng.uniform_int(4, 8));
+      r.cpu_request_cores = rng.uniform(20.0, 80.0);  // below-usual request
+      r.mem_request_gb =
+          rng.bernoulli(0.80) ? kStdMemRequest : rng.lognormal(std::log(16.0), 0.5);
+      q.run_duration_s = std::max(20.0, rng.lognormal(std::log(150.0), 0.6));
+      q.intended = rng.bernoulli(0.95) ? ExitStatus::kFailed
+                                       : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.2, 0.8);  // dies at library import
+      r.cpu_util = rng.normal_clamped(3.0, 1.5, 0.3, 10.0);
+      r.mem_used_gb = rng.normal_clamped(0.8, 0.5, 0.05, 2.5);
+      r.sm_util = 0.0;
+      r.gmem_used_gb = 0.0;
+      break;
+    }
+    case Archetype::kDistFail: {
+      r.user = users.draw(rng, 0.05, 0.85, 0.10);
+      r.group = groups.regular(rng);
+      r.framework = rng.bernoulli(0.60) ? "PyTorch" : "Tensorflow";
+      r.gpu_model = rng.bernoulli(0.60) ? GpuModel::kNonT4 : GpuModel::kNone;
+      r.num_gpus = static_cast<int>(rng.uniform_int(25, 96));
+      r.cpu_request_cores = rng.uniform(150.0, 500.0);
+      r.mem_request_gb = rng.lognormal(std::log(64.0), 0.4);
+      q.run_duration_s = std::max(60.0, rng.lognormal(std::log(1800.0), 0.6));
+      q.intended = rng.bernoulli(0.90) ? ExitStatus::kFailed
+                                       : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.3, 0.9);  // a worker dies, gang fails
+      r.cpu_util = rng.normal_clamped(10.0, 4.0, 1.0, 25.0);
+      r.mem_used_gb = rng.normal_clamped(3.0, 1.5, 0.3, 8.0);
+      r.sm_util = 0.0;
+      r.gmem_used_gb = 0.0;
+      break;
+    }
+    case Archetype::kRecSys: {
+      r.user = users.draw(rng, 0.05, 0.85, 0.10);
+      r.group = groups.regular(rng);
+      r.framework = rng.bernoulli(0.55) ? "Tensorflow" : "Other";
+      r.model_family = "RecSys";
+      r.multi_task = rng.bernoulli(0.90);
+      r.gpu_model = rng.bernoulli(0.90) ? GpuModel::kT4 : GpuModel::kNonT4;
+      r.num_gpus = static_cast<int>(rng.uniform_int(4, 8));
+      r.cpu_request_cores = rng.bernoulli(0.50)
+                                ? kStdCpuRequest
+                                : rng.uniform(200.0, 500.0);
+      r.mem_request_gb =
+          rng.bernoulli(0.30) ? kStdMemRequest : rng.lognormal(std::log(48.0), 0.4);
+      q.run_duration_s = std::max(120.0, rng.lognormal(std::log(1200.0), 0.6));
+      q.intended = rng.bernoulli(0.92) ? ExitStatus::kCompleted
+                                       : ExitStatus::kFailed;
+      q.abort_frac = rng.uniform(0.3, 0.9);
+      r.cpu_util = rng.normal_clamped(35.0, 10.0, 10.0, 70.0);
+      r.mem_used_gb = rng.normal_clamped(12.0, 4.0, 4.0, 32.0);
+      r.sm_util = rng.normal_clamped(30.0, 10.0, 5.0, 60.0);
+      r.gmem_used_gb = rng.normal_clamped(8.0, 3.0, 2.0, 15.0);
+      break;
+    }
+    case Archetype::kNlp: {
+      r.user = users.draw(rng, 0.05, 0.85, 0.10);
+      r.group = groups.regular(rng);
+      r.framework = rng.bernoulli(0.50) ? "Tensorflow" : "PyTorch";
+      r.model_family = "NLP";
+      r.gpu_model = rng.bernoulli(0.95) ? GpuModel::kNonT4 : GpuModel::kNone;
+      r.num_gpus = static_cast<int>(rng.uniform_int(8, 32));
+      r.cpu_request_cores = rng.bernoulli(0.40)
+                                ? kStdCpuRequest
+                                : rng.uniform(200.0, 500.0);
+      r.mem_request_gb = rng.lognormal(std::log(96.0), 0.3);
+      q.run_duration_s = std::max(600.0, rng.lognormal(std::log(28800.0), 0.5));
+      q.intended = rng.bernoulli(0.90) ? ExitStatus::kCompleted
+                                       : ExitStatus::kFailed;
+      q.abort_frac = rng.uniform(0.5, 0.98);
+      // All-GPU pipelines: the host does essentially nothing.
+      r.cpu_util = rng.bernoulli(0.95) ? 0.0 : rng.uniform(0.5, 2.0);
+      r.mem_used_gb = rng.normal_clamped(20.0, 6.0, 8.0, 48.0);
+      r.sm_util = rng.normal_clamped(92.0, 4.0, 82.0, 100.0);
+      r.gmem_used_gb = rng.normal_clamped(24.0, 5.0, 12.0, 32.0);
+      break;
+    }
+    case Archetype::kCv: {
+      r.user = users.draw(rng, 0.05, 0.80, 0.15);
+      r.group = rng.bernoulli(0.05) ? groups.heavy(rng) : groups.regular(rng);
+      r.framework = rng.bernoulli(0.50) ? "Tensorflow" : "PyTorch";
+      r.model_family = "CV";
+      const double type_draw = rng.uniform();
+      r.gpu_model = type_draw < 0.50   ? GpuModel::kNonT4
+                    : type_draw < 0.65 ? GpuModel::kT4
+                                       : GpuModel::kNone;
+      r.num_gpus = static_cast<int>(rng.uniform_int(4, 16));
+      r.cpu_request_cores = rng.bernoulli(0.45)
+                                ? kStdCpuRequest
+                                : rng.uniform(150.0, 500.0);
+      r.mem_request_gb =
+          rng.bernoulli(0.30) ? kStdMemRequest : rng.lognormal(std::log(48.0), 0.4);
+      q.run_duration_s = std::max(300.0, rng.lognormal(std::log(7200.0), 0.7));
+      q.intended = rng.bernoulli(0.92) ? ExitStatus::kCompleted
+                                       : ExitStatus::kFailed;
+      q.abort_frac = rng.uniform(0.3, 0.95);
+      r.cpu_util = rng.normal_clamped(40.0, 12.0, 15.0, 80.0);
+      r.mem_used_gb = rng.normal_clamped(16.0, 5.0, 6.0, 40.0);
+      r.sm_util = rng.normal_clamped(55.0, 15.0, 15.0, 95.0);
+      r.gmem_used_gb = rng.normal_clamped(14.0, 4.0, 5.0, 30.0);
+      break;
+    }
+    case Archetype::kMiscOk: {
+      r.user = users.draw(rng, 0.05, 0.75, 0.20);
+      r.group = rng.bernoulli(0.05) ? groups.heavy(rng) : groups.regular(rng);
+      r.framework = rng.bernoulli(0.50) ? "Tensorflow" : "Other";
+      const double type_draw = rng.uniform();
+      r.gpu_model = type_draw < 0.40   ? GpuModel::kNonT4
+                    : type_draw < 0.70 ? GpuModel::kNone
+                                       : GpuModel::kT4;
+      r.num_gpus = static_cast<int>(rng.uniform_int(4, 12));
+      r.cpu_request_cores = rng.bernoulli(0.50)
+                                ? kStdCpuRequest
+                                : rng.uniform(150.0, 500.0);
+      r.mem_request_gb =
+          rng.bernoulli(0.40) ? kStdMemRequest : rng.lognormal(std::log(40.0), 0.5);
+      q.run_duration_s = std::max(120.0, rng.lognormal(std::log(3600.0), 0.8));
+      q.intended = rng.bernoulli(0.88) ? ExitStatus::kCompleted
+                                       : ExitStatus::kFailed;
+      q.abort_frac = rng.uniform(0.3, 0.95);
+      r.cpu_util = rng.normal_clamped(30.0, 12.0, 8.0, 70.0);
+      r.mem_used_gb = rng.normal_clamped(10.0, 4.0, 3.0, 30.0);
+      r.sm_util = rng.normal_clamped(40.0, 15.0, 8.0, 85.0);
+      r.gmem_used_gb = rng.normal_clamped(10.0, 4.0, 2.0, 28.0);
+      break;
+    }
+    case Archetype::kCount:
+      GPUMINE_ENSURE(false, "invalid archetype");
+  }
+
+  q.pool = r.gpu_model;
+  q.num_gpus = r.num_gpus;
+  return d;
+}
+
+}  // namespace
+
+SynthTrace generate_pai(const PaiConfig& config) {
+  GPUMINE_CHECK_ARG(config.num_jobs > 0, "num_jobs must be positive");
+  GPUMINE_CHECK_ARG(config.arrival_rate_jobs_per_s > 0.0,
+                    "arrival rate must be positive");
+  const double window_s =
+      static_cast<double>(config.num_jobs) / config.arrival_rate_jobs_per_s;
+  Rng root(config.seed);
+
+  const PrincipalPool users("u", 12, 600, 2500);
+  const PrincipalPool groups("g", 8, 400, 1200);
+
+  std::vector<DrawnJob> drawn;
+  drawn.reserve(config.num_jobs);
+  {
+    Rng mix = root.fork(1);
+    for (std::size_t i = 0; i < config.num_jobs; ++i) {
+      const auto type = static_cast<Archetype>(mix.weighted_choice(kWeights));
+      Rng job_rng = root.fork(1000 + i);
+      drawn.push_back(draw_job(i, type, users, groups, window_s, job_rng));
+    }
+  }
+
+  // Queueing + outcome via the cluster simulator.
+  sim::ClusterSim cluster({{GpuModel::kT4, config.t4_gpus},
+                           {GpuModel::kNonT4, config.non_t4_gpus},
+                           {GpuModel::kNone, config.misc_gpus}});
+  std::vector<sim::JobRequest> requests;
+  requests.reserve(drawn.size());
+  for (const DrawnJob& d : drawn) requests.push_back(d.request);
+  const std::vector<sim::JobOutcome> outcomes =
+      cluster.run(requests, {config.seed ^ 0x9e37u});
+
+  SynthTrace out;
+  auto& sched = out.scheduler;
+  auto& job_id_s = sched.add_categorical("job_id");
+  auto& user_c = sched.add_categorical("User");
+  auto& group_c = sched.add_categorical("Group");
+  auto& framework_c = sched.add_categorical("Framework");
+  auto& model_c = sched.add_categorical("Model");
+  auto& tasks_c = sched.add_categorical("Tasks");
+  auto& gpu_type_c = sched.add_categorical("GPU Type");
+  auto& gpu_req_c = sched.add_numeric("GPU Request");
+  auto& cpu_req_c = sched.add_numeric("CPU Request");
+  auto& mem_req_c = sched.add_numeric("Mem Request");
+  auto& queue_c = sched.add_numeric("Queue");
+  auto& runtime_c = sched.add_numeric("Runtime");
+  auto& status_c = sched.add_categorical("Status");
+
+  auto& node = out.node;
+  auto& job_id_n = node.add_categorical("job_id");
+  auto& cpu_util_c = node.add_numeric("CPU Util");
+  auto& mem_used_c = node.add_numeric("Memory Used");
+  auto& sm_util_c = node.add_numeric("SM Util");
+  auto& gmem_used_c = node.add_numeric("GMem Used");
+
+  out.records.reserve(drawn.size());
+  Rng queue_noise = root.fork(2);
+  for (std::size_t i = 0; i < drawn.size(); ++i) {
+    JobRecord r = drawn[i].record;
+    const sim::JobOutcome& o = outcomes[i];
+    // Scheduler dispatch latency keeps queue times strictly positive so
+    // equal-frequency bins stay meaningful under heavy zero ties.
+    r.queue_time_s =
+        o.queue_time_s + queue_noise.lognormal(std::log(20.0), 0.8);
+    r.runtime_s = o.runtime_s;
+    r.status = o.status;
+    r.num_attempts = o.attempts;
+
+    const std::string id = std::to_string(r.job_id);
+    job_id_s.push(id);
+    user_c.push(r.user);
+    group_c.push(r.group);
+    framework_c.push(r.framework);
+    if (r.model_family.empty()) {
+      model_c.push_missing();
+    } else {
+      model_c.push(r.model_family);
+    }
+    tasks_c.push(r.multi_task ? "Multiple Tasks" : "Single Task");
+    gpu_type_c.push(std::string(to_string(r.gpu_model)));
+    gpu_req_c.push(r.num_gpus);
+    cpu_req_c.push(r.cpu_request_cores);
+    mem_req_c.push(r.mem_request_gb);
+    queue_c.push(r.queue_time_s);
+    runtime_c.push(r.runtime_s);
+    status_c.push(r.status == ExitStatus::kCompleted ? "Terminated" : "Failed");
+
+    job_id_n.push(id);
+    cpu_util_c.push(r.cpu_util);
+    mem_used_c.push(r.mem_used_gb);
+    sm_util_c.push(r.sm_util);
+    gmem_used_c.push(r.gmem_used_gb);
+
+    out.records.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace gpumine::synth

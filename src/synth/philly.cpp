@@ -1,0 +1,239 @@
+#include "synth/philly.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "sim/cluster_sim.hpp"
+#include "trace/monitor.hpp"
+#include "trace/profile.hpp"
+
+namespace gpumine::synth {
+namespace {
+
+using trace::ExitStatus;
+using trace::GpuModel;
+using trace::JobRecord;
+using trace::Phase;
+using trace::Rng;
+using trace::UtilProfile;
+
+enum class Archetype : std::size_t {
+  kIdleShort,  // SM pinned at 0, short, CPU-idle           (Tab IV C1/C2)
+  kStandard,   // healthy single-GPU training
+  kMultiGpu,   // distributed; gang failures, long runtimes (Tab VII C1, PHI1)
+  kLongFail,   // long single-GPU runs failing late          (Tab VII A2)
+  kCount,
+};
+
+constexpr std::array<double, static_cast<std::size_t>(Archetype::kCount)>
+    kWeights = {0.33, 0.47, 0.14, 0.06};
+
+struct DrawnJob {
+  JobRecord record;
+  sim::JobRequest request;
+  UtilProfile sm;
+};
+
+GpuModel pick_pool(Rng& rng, double p_24gb) {
+  return rng.bernoulli(p_24gb) ? GpuModel::kMem24GB : GpuModel::kMem12GB;
+}
+
+DrawnJob draw_job(std::size_t index, Archetype type, const PrincipalPool& users,
+                  double window_s, Rng& rng) {
+  DrawnJob d;
+  JobRecord& r = d.record;
+  sim::JobRequest& q = d.request;
+  r.job_id = index;
+  r.submit_time_s = rng.uniform(0.0, window_s);
+  q.submit_time_s = r.submit_time_s;
+
+  // Philly auto-retries on error; not every error gets another attempt.
+  auto retry_policy = [&](bool failing) {
+    if (!failing) {
+      q.max_attempts = 1;
+      return;
+    }
+    const double u = rng.uniform();
+    q.max_attempts = u < 0.40 ? 1 : (u < 0.85 ? 2 : 3);
+    q.retry_success_prob = 0.20;
+  };
+
+  switch (type) {
+    case Archetype::kIdleShort: {
+      const bool from_new_user = rng.bernoulli(0.25);
+      r.user = from_new_user ? users.rare(rng)
+                             : users.draw(rng, 0.15, 0.85, 0.0001);
+      r.gpu_model = pick_pool(rng, 0.30);
+      r.num_gpus = 1;
+      q.run_duration_s = std::max(60.0, rng.lognormal(std::log(300.0), 0.8));
+      const double fail_p = from_new_user ? 0.20 : 0.07;
+      const double u = rng.uniform();
+      q.intended = u < fail_p                ? ExitStatus::kFailed
+                   : u < fail_p + 0.30       ? ExitStatus::kKilled
+                                             : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.4, 1.0);
+      retry_policy(q.intended == ExitStatus::kFailed);
+      d.sm = UtilProfile::constant(0.0, 0.0, 0.0, 100.0);
+      r.cpu_util = rng.normal_clamped(4.0, 2.0, 0.5, 10.0);
+      break;
+    }
+    case Archetype::kStandard: {
+      r.user = rng.bernoulli(0.10) ? users.rare(rng)
+                                   : users.draw(rng, 0.20, 0.80, 0.0001);
+      r.gpu_model = pick_pool(rng, 0.30);
+      r.num_gpus = 1;
+      q.run_duration_s = std::max(300.0, rng.lognormal(std::log(5400.0), 0.8));
+      const double u = rng.uniform();
+      q.intended = u < 0.07   ? ExitStatus::kFailed
+                   : u < 0.15 ? ExitStatus::kKilled
+                              : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.3, 0.95);
+      retry_policy(q.intended == ExitStatus::kFailed);
+      // Warm-up then steady compute; data-loading dips stay above zero.
+      d.sm = UtilProfile(
+          {Phase{0.05, 30.0, 4.0, 0.0, 0.0, 0.0},
+           Phase{0.95, rng.uniform(55.0, 90.0), 4.0, 300.0, 0.1,
+                 rng.uniform(15.0, 30.0)}},
+          5.0, 100.0);
+      r.cpu_util = rng.normal_clamped(38.0, 12.0, 12.0, 75.0);
+      break;
+    }
+    case Archetype::kMultiGpu: {
+      const bool from_new_user = rng.bernoulli(0.45);
+      r.user = from_new_user ? users.rare(rng)
+                             : users.draw(rng, 0.20, 0.80, 0.0001);
+      r.gpu_model = pick_pool(rng, 0.35);
+      r.num_gpus = static_cast<int>(rng.uniform_int(2, 8));
+      q.run_duration_s = std::max(1800.0, rng.lognormal(std::log(28800.0), 0.7));
+      const double fail_p = from_new_user ? 0.65 : 0.38;
+      const double u = rng.uniform();
+      q.intended = u < fail_p          ? ExitStatus::kFailed
+                   : u < fail_p + 0.05 ? ExitStatus::kKilled
+                                       : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.2, 0.9);  // one worker dies, gang dies
+      retry_policy(q.intended == ExitStatus::kFailed);
+      if (rng.bernoulli(0.05)) {
+        // Crash before the first iteration: whole job idle.
+        d.sm = UtilProfile::constant(0.0, 0.0, 0.0, 100.0);
+      } else {
+        // Synchronization stalls drag per-minute samples to zero.
+        d.sm = UtilProfile(
+            {Phase{1.0, rng.uniform(50.0, 85.0), 5.0, 600.0, 0.12, 0.0}}, 0.0,
+            100.0);
+      }
+      r.cpu_util = rng.normal_clamped(30.0, 10.0, 8.0, 60.0);
+      break;
+    }
+    case Archetype::kLongFail: {
+      r.user = rng.bernoulli(0.50) ? users.rare(rng)
+                                   : users.draw(rng, 0.20, 0.80, 0.0001);
+      r.gpu_model = pick_pool(rng, 0.30);
+      r.num_gpus = 1;
+      q.run_duration_s = std::max(14400.0, rng.lognormal(std::log(36000.0), 0.5));
+      q.intended = rng.bernoulli(0.50) ? ExitStatus::kFailed
+                                       : ExitStatus::kCompleted;
+      q.abort_frac = rng.uniform(0.7, 0.98);  // fails deep into the run
+      retry_policy(q.intended == ExitStatus::kFailed);
+      // Starved input pipeline: decent mean, zero-utilization minutes.
+      d.sm = UtilProfile(
+          {Phase{1.0, rng.uniform(30.0, 60.0), 5.0, 900.0, 0.15, 0.0}}, 0.0,
+          100.0);
+      r.cpu_util = rng.normal_clamped(25.0, 8.0, 6.0, 50.0);
+      break;
+    }
+    case Archetype::kCount:
+      GPUMINE_ENSURE(false, "invalid archetype");
+  }
+
+  q.pool = r.gpu_model;
+  q.num_gpus = r.num_gpus;
+  return d;
+}
+
+}  // namespace
+
+SynthTrace generate_philly(const PhillyConfig& config) {
+  GPUMINE_CHECK_ARG(config.num_jobs > 0, "num_jobs must be positive");
+  const double window_s = config.trace_days * 86400.0;
+  Rng root(config.seed);
+
+  const PrincipalPool users("u", 8, 150, 700);
+
+  std::vector<DrawnJob> drawn;
+  drawn.reserve(config.num_jobs);
+  {
+    Rng mix = root.fork(1);
+    for (std::size_t i = 0; i < config.num_jobs; ++i) {
+      const auto type = static_cast<Archetype>(mix.weighted_choice(kWeights));
+      Rng job_rng = root.fork(1000 + i);
+      drawn.push_back(draw_job(i, type, users, window_s, job_rng));
+    }
+  }
+
+  sim::ClusterSim cluster({{GpuModel::kMem12GB, config.mem12_gpus},
+                           {GpuModel::kMem24GB, config.mem24_gpus}});
+  std::vector<sim::JobRequest> requests;
+  requests.reserve(drawn.size());
+  for (const DrawnJob& d : drawn) requests.push_back(d.request);
+  const std::vector<sim::JobOutcome> outcomes =
+      cluster.run(requests, {config.seed ^ 0xab1eu});
+
+  SynthTrace out;
+  auto& sched = out.scheduler;
+  auto& job_id_s = sched.add_categorical("job_id");
+  auto& user_c = sched.add_categorical("User");
+  auto& gpus_c = sched.add_categorical("GPU Count");
+  auto& gpu_mem_c = sched.add_categorical("GPU Mem");
+  auto& attempts_c = sched.add_categorical("Num Attempts");
+  auto& runtime_c = sched.add_numeric("Runtime");
+  auto& status_c = sched.add_categorical("Status");
+
+  auto& node = out.node;
+  auto& job_id_n = node.add_categorical("job_id");
+  auto& cpu_util_c = node.add_numeric("CPU Util");
+  auto& sm_util_c = node.add_numeric("SM Util");
+  auto& sm_min_c = node.add_numeric("Min SM Util");
+  auto& sm_max_c = node.add_numeric("Max SM Util");
+
+  const trace::MonitorConfig monitor{config.gpu_dt_s, config.max_samples};
+  out.records.reserve(drawn.size());
+  for (std::size_t i = 0; i < drawn.size(); ++i) {
+    JobRecord r = drawn[i].record;
+    const sim::JobOutcome& o = outcomes[i];
+    r.queue_time_s = o.queue_time_s;
+    r.runtime_s = o.runtime_s;
+    r.status = o.status;
+    r.num_attempts = o.attempts;
+
+    Rng sm_rng = root.fork(2'000'000 + i);
+    const auto sm_stats =
+        trace::sample_profile(drawn[i].sm, r.runtime_s, monitor, sm_rng).stats();
+    r.sm_util = std::round(sm_stats.mean);
+    r.sm_util_min = std::round(sm_stats.min);
+    r.sm_util_max = std::round(sm_stats.max);
+    r.sm_util_var = sm_stats.variance;
+
+    const std::string id = std::to_string(r.job_id);
+    job_id_s.push(id);
+    user_c.push(r.user);
+    gpus_c.push(r.num_gpus > 1 ? "Multi-GPU" : "Single-GPU");
+    gpu_mem_c.push(std::string(to_string(r.gpu_model)));
+    attempts_c.push(r.num_attempts > 1 ? "Num Attempts > 1" : "Num Attempts = 1");
+    runtime_c.push(r.runtime_s);
+    status_c.push(r.status == ExitStatus::kCompleted ? "Passed"
+                                                     : std::string(to_string(r.status)));
+
+    job_id_n.push(id);
+    cpu_util_c.push(r.cpu_util);
+    sm_util_c.push(r.sm_util);
+    sm_min_c.push(r.sm_util_min);
+    sm_max_c.push(r.sm_util_max);
+
+    out.records.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace gpumine::synth

@@ -1,0 +1,38 @@
+// Synthetic Microsoft-Philly-like trace (paper Sec. II, Tables IV / VII).
+//
+// Substitutes for the Philly trace. Philly's Ganglia-based monitor
+// records 1-minute averages, so the per-minute minimum and maximum SM
+// utilization become job features alongside the mean ("Min SM Util =
+// 0%"); the platform auto-retries failed jobs ("Num Attempts > 1"); and
+// nodes carry 12 GB or 24 GB GPUs. The mixture is calibrated for:
+//   * ~35% of jobs with 0% mean SM utilization (Fig. 4), short and
+//     CPU-idle (Table IV C1/C2);
+//   * ~14% multi-GPU jobs that fail ~2.5x more often than baseline and
+//     run long (Table VII C1, Table VIII PHI1) — gang failure semantics;
+//   * new users ~2.5x more failure-prone (Table VII C2);
+//   * failed jobs with zero min-SM intervals that were retried at least
+//     once, and a family of long-running late failures (Table VII A1/A2).
+#pragma once
+
+#include <cstdint>
+
+#include "synth/common.hpp"
+
+namespace gpumine::synth {
+
+struct PhillyConfig {
+  std::size_t num_jobs = 50000;
+  std::uint64_t seed = 44;
+  double trace_days = 75.0;  // paper Table I
+
+  int mem12_gpus = 1700;
+  int mem24_gpus = 800;
+
+  /// Ganglia cadence (1 minute in the real collection).
+  double gpu_dt_s = 60.0;
+  std::size_t max_samples = 256;
+};
+
+[[nodiscard]] SynthTrace generate_philly(const PhillyConfig& config = {});
+
+}  // namespace gpumine::synth

@@ -1,0 +1,255 @@
+#include "synth/supercloud.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/ensure.hpp"
+#include "sim/cluster_sim.hpp"
+#include "trace/monitor.hpp"
+#include "trace/profile.hpp"
+
+namespace gpumine::synth {
+namespace {
+
+using trace::ExitStatus;
+using trace::GpuModel;
+using trace::JobRecord;
+using trace::Phase;
+using trace::Rng;
+using trace::UtilProfile;
+
+enum class Archetype : std::size_t {
+  kIdleDebug,      // SM stuck at 0, nothing in GPU memory      (Tab III A1)
+  kInferenceIdle,  // memory resident, SM spikes round to 0%    (Tab III A2)
+  kStableTrain,    // smooth high utilization
+  kRegularTrain,   // mini-batch dip pattern
+  kBigTrain,       // long runs; node failures and time limits  (Tab VI A2)
+  kNewUserJob,     // exploratory low-utilization runs          (CIR1, C3)
+  kCount,
+};
+
+constexpr std::array<double, static_cast<std::size_t>(Archetype::kCount)>
+    kWeights = {0.07, 0.04, 0.16, 0.48, 0.15, 0.10};
+
+struct DrawnJob {
+  JobRecord record;
+  sim::JobRequest request;
+  UtilProfile sm;         // SM utilization profile (%)
+  UtilProfile gmem_util;  // memory-bandwidth utilization profile (%)
+};
+
+ExitStatus pick_status(Rng& rng, double p_completed, double p_failed,
+                       double p_killed, double p_timeout) {
+  const double w[] = {p_completed, p_failed, p_killed, p_timeout};
+  switch (rng.weighted_choice(w)) {
+    case 0:
+      return ExitStatus::kCompleted;
+    case 1:
+      return ExitStatus::kFailed;
+    case 2:
+      return ExitStatus::kKilled;
+    default:
+      return ExitStatus::kTimeout;
+  }
+}
+
+DrawnJob draw_job(std::size_t index, Archetype type, const PrincipalPool& users,
+                  double window_s, Rng& rng) {
+  DrawnJob d;
+  JobRecord& r = d.record;
+  sim::JobRequest& q = d.request;
+  r.job_id = index;
+  r.submit_time_s = rng.uniform(0.0, window_s);
+  q.submit_time_s = r.submit_time_s;
+  r.gpu_model = GpuModel::kV100;
+  q.pool = GpuModel::kV100;
+  // 97% single-GPU (Sec. IV-C) — the "Single GPU" item is later removed
+  // by the 80% dominance filter, exactly as in the paper.
+  r.num_gpus = rng.bernoulli(0.97) ? 1 : 2;
+  q.num_gpus = r.num_gpus;
+
+  switch (type) {
+    case Archetype::kIdleDebug: {
+      r.user = users.draw(rng, 0.12, 0.38, 0.50);
+      q.run_duration_s = std::max(30.0, rng.lognormal(std::log(180.0), 0.7));
+      q.intended = pick_status(rng, 0.25, 0.30, 0.45, 0.0);
+      q.abort_frac = rng.uniform(0.4, 1.0);
+      d.sm = UtilProfile::constant(0.0, 0.0, 0.0, 100.0);
+      d.gmem_util = UtilProfile::constant(rng.uniform(0.2, 0.8), 0.1, 0.0, 100.0);
+      r.gmem_used_gb = rng.uniform(0.05, 0.4);
+      r.gpu_power_w = rng.normal_clamped(30.0, 3.0, 24.0, 38.0);
+      r.cpu_util = rng.normal_clamped(4.0, 2.0, 0.5, 10.0);
+      break;
+    }
+    case Archetype::kInferenceIdle: {
+      r.user = users.draw(rng, 0.10, 0.80, 0.10);
+      q.run_duration_s = std::max(1800.0, rng.lognormal(std::log(14400.0), 0.6));
+      q.intended = pick_status(rng, 0.90, 0.0, 0.10, 0.0);
+      q.abort_frac = rng.uniform(0.5, 1.0);
+      // Occasional inference burst: mean rounds to 0%, variance does not.
+      d.sm = UtilProfile(
+          {Phase{.duration_frac = 1.0, .burst_prob = 0.01, .burst_lo = 30.0,
+                 .burst_hi = 60.0}},
+          0.0, 100.0);
+      d.gmem_util = UtilProfile::constant(rng.uniform(1.0, 3.0), 0.3, 0.0, 100.0);
+      r.gmem_used_gb = rng.uniform(8.0, 20.0);  // model stays resident
+      r.gpu_power_w = rng.normal_clamped(48.0, 4.0, 40.0, 58.0);
+      r.cpu_util = rng.normal_clamped(5.0, 2.0, 0.5, 12.0);
+      break;
+    }
+    case Archetype::kStableTrain: {
+      r.user = users.draw(rng, 0.14, 0.66, 0.20);
+      q.run_duration_s = std::max(600.0, rng.lognormal(std::log(7200.0), 0.7));
+      q.intended = pick_status(rng, 0.92, 0.05, 0.03, 0.0);
+      q.abort_frac = rng.uniform(0.3, 0.95);
+      d.sm = UtilProfile::constant(rng.uniform(70.0, 95.0), 1.5, 0.0, 100.0);
+      d.gmem_util =
+          UtilProfile::constant(rng.uniform(30.0, 70.0), 2.0, 0.0, 100.0);
+      r.gmem_used_gb = rng.uniform(8.0, 28.0);
+      r.gpu_power_w = rng.normal_clamped(230.0, 30.0, 170.0, 300.0);
+      r.cpu_util = rng.normal_clamped(40.0, 12.0, 15.0, 75.0);
+      break;
+    }
+    case Archetype::kRegularTrain: {
+      r.user = users.draw(rng, 0.10, 0.70, 0.20);
+      q.run_duration_s = std::max(300.0, rng.lognormal(std::log(10800.0), 0.9));
+      q.intended = pick_status(rng, 0.88, 0.06, 0.06, 0.0);
+      q.abort_frac = rng.uniform(0.3, 0.95);
+      // Mini-batch pattern: dips during data loading.
+      d.sm = UtilProfile(
+          {Phase{1.0, rng.uniform(40.0, 90.0), 5.0, 30.0, 0.15, 15.0}}, 0.0,
+          100.0);
+      d.gmem_util = UtilProfile(
+          {Phase{1.0, rng.uniform(20.0, 70.0), 5.0, 30.0, 0.15, 5.0}}, 0.0,
+          100.0);
+      r.gmem_used_gb = rng.uniform(4.0, 28.0);
+      r.gpu_power_w = rng.normal_clamped(200.0, 45.0, 110.0, 300.0);
+      r.cpu_util = rng.normal_clamped(40.0, 15.0, 10.0, 80.0);
+      break;
+    }
+    case Archetype::kBigTrain: {
+      r.user = users.draw(rng, 0.12, 0.68, 0.20);
+      q.run_duration_s = std::max(7200.0, rng.lognormal(std::log(43200.0), 0.6));
+      // Long runs hit node failures and allocation limits (Tab VI A2).
+      q.intended = pick_status(rng, 0.62, 0.15, 0.13, 0.10);
+      q.abort_frac = q.intended == ExitStatus::kTimeout
+                         ? 1.0
+                         : rng.uniform(0.5, 0.95);
+      d.sm = UtilProfile::constant(rng.uniform(60.0, 95.0), 3.0, 0.0, 100.0);
+      d.gmem_util =
+          UtilProfile::constant(rng.uniform(30.0, 75.0), 3.0, 0.0, 100.0);
+      r.gmem_used_gb = rng.uniform(8.0, 30.0);
+      r.gpu_power_w = rng.normal_clamped(250.0, 30.0, 180.0, 300.0);
+      r.cpu_util = rng.normal_clamped(45.0, 15.0, 15.0, 85.0);
+      break;
+    }
+    case Archetype::kNewUserJob: {
+      r.user = users.draw(rng, 0.02, 0.18, 0.80);
+      q.run_duration_s = std::max(60.0, rng.lognormal(std::log(1200.0), 0.8));
+      q.intended = pick_status(rng, 0.35, 0.30, 0.35, 0.0);
+      q.abort_frac = rng.uniform(0.3, 1.0);
+      d.sm = UtilProfile::constant(rng.uniform(3.0, 15.0), 2.0, 0.0, 100.0);
+      d.gmem_util = UtilProfile::constant(rng.uniform(4.0, 10.0), 1.0, 0.0, 100.0);
+      r.gmem_used_gb = rng.uniform(1.0, 4.0);
+      r.gpu_power_w = rng.normal_clamped(55.0, 10.0, 38.0, 80.0);
+      r.cpu_util = rng.normal_clamped(9.0, 4.0, 1.0, 20.0);
+      break;
+    }
+    case Archetype::kCount:
+      GPUMINE_ENSURE(false, "invalid archetype");
+  }
+  return d;
+}
+
+}  // namespace
+
+SynthTrace generate_supercloud(const SuperCloudConfig& config) {
+  GPUMINE_CHECK_ARG(config.num_jobs > 0, "num_jobs must be positive");
+  const double window_s = config.trace_days * 86400.0;
+  Rng root(config.seed);
+
+  const PrincipalPool users("u", 8, 140, 900);
+
+  std::vector<DrawnJob> drawn;
+  drawn.reserve(config.num_jobs);
+  {
+    Rng mix = root.fork(1);
+    for (std::size_t i = 0; i < config.num_jobs; ++i) {
+      const auto type = static_cast<Archetype>(mix.weighted_choice(kWeights));
+      Rng job_rng = root.fork(1000 + i);
+      drawn.push_back(draw_job(i, type, users, window_s, job_rng));
+    }
+  }
+
+  sim::ClusterSim cluster({{GpuModel::kV100, config.v100_gpus}});
+  std::vector<sim::JobRequest> requests;
+  requests.reserve(drawn.size());
+  for (const DrawnJob& d : drawn) requests.push_back(d.request);
+  const std::vector<sim::JobOutcome> outcomes =
+      cluster.run(requests, {config.seed ^ 0x51b7u});
+
+  SynthTrace out;
+  auto& sched = out.scheduler;
+  auto& job_id_s = sched.add_categorical("job_id");
+  auto& user_c = sched.add_categorical("User");
+  auto& runtime_c = sched.add_numeric("Runtime");
+  auto& status_c = sched.add_categorical("Status");
+
+  auto& node = out.node;
+  auto& job_id_n = node.add_categorical("job_id");
+  auto& cpu_util_c = node.add_numeric("CPU Util");
+  auto& sm_util_c = node.add_numeric("SM Util");
+  auto& sm_var_c = node.add_numeric("SM Util Var");
+  auto& gmem_util_c = node.add_numeric("GMem Util");
+  auto& gmem_var_c = node.add_numeric("GMem Util Var");
+  auto& gmem_used_c = node.add_numeric("GMem Used");
+  auto& power_c = node.add_numeric("GPU Power");
+
+  const trace::MonitorConfig monitor{config.gpu_dt_s, config.max_samples};
+  out.records.reserve(drawn.size());
+  for (std::size_t i = 0; i < drawn.size(); ++i) {
+    JobRecord r = drawn[i].record;
+    const sim::JobOutcome& o = outcomes[i];
+    r.queue_time_s = o.queue_time_s;
+    r.runtime_s = o.runtime_s;
+    r.status = o.status;
+
+    // nvidia-smi series over the actual (possibly aborted) runtime.
+    Rng sm_rng = root.fork(2'000'000 + i);
+    const auto sm_stats =
+        trace::sample_profile(drawn[i].sm, r.runtime_s, monitor, sm_rng).stats();
+    Rng gm_rng = root.fork(3'000'000 + i);
+    const auto gm_stats =
+        trace::sample_profile(drawn[i].gmem_util, r.runtime_s, monitor, gm_rng)
+            .stats();
+    // nvidia-smi reports integer percentages; rounding the job mean is
+    // what makes "SM Util = 0%" capture near-idle inference jobs too.
+    r.sm_util = std::round(sm_stats.mean);
+    r.sm_util_min = sm_stats.min;
+    r.sm_util_max = sm_stats.max;
+    r.sm_util_var = sm_stats.variance;
+    r.gmem_util = gm_stats.mean;
+    r.gmem_util_var = gm_stats.variance;
+
+    const std::string id = std::to_string(r.job_id);
+    job_id_s.push(id);
+    user_c.push(r.user);
+    runtime_c.push(r.runtime_s);
+    status_c.push(std::string(to_string(r.status)));
+
+    job_id_n.push(id);
+    cpu_util_c.push(r.cpu_util);
+    sm_util_c.push(r.sm_util);
+    sm_var_c.push(r.sm_util_var);
+    gmem_util_c.push(r.gmem_util);
+    gmem_var_c.push(r.gmem_util_var);
+    gmem_used_c.push(r.gmem_used_gb);
+    power_c.push(r.gpu_power_w);
+
+    out.records.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace gpumine::synth

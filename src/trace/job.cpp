@@ -1,0 +1,39 @@
+#include "trace/job.hpp"
+
+#include "common/ensure.hpp"
+
+namespace gpumine::trace {
+
+std::string_view to_string(ExitStatus status) {
+  switch (status) {
+    case ExitStatus::kCompleted:
+      return "Completed";
+    case ExitStatus::kFailed:
+      return "Failed";
+    case ExitStatus::kKilled:
+      return "Killed";
+    case ExitStatus::kTimeout:
+      return "Timeout";
+  }
+  GPUMINE_ENSURE(false, "unknown ExitStatus");
+}
+
+std::string_view to_string(GpuModel model) {
+  switch (model) {
+    case GpuModel::kNone:
+      return "None";
+    case GpuModel::kT4:
+      return "T4";
+    case GpuModel::kNonT4:
+      return "None T4";
+    case GpuModel::kV100:
+      return "V100";
+    case GpuModel::kMem12GB:
+      return "GPU 12GB Mem";
+    case GpuModel::kMem24GB:
+      return "GPU 24GB Mem";
+  }
+  GPUMINE_ENSURE(false, "unknown GpuModel");
+}
+
+}  // namespace gpumine::trace

@@ -1,0 +1,71 @@
+// Unified job record schema.
+//
+// A superset of the scheduler-level and node-level features of the three
+// traces (paper Table I and Sec. II). Generators fill the fields their
+// trace provides and leave the rest at the sentinel kUnset; the per-trace
+// table builders only materialize columns that exist in that trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gpumine::trace {
+
+/// Sentinel for numeric fields a trace does not collect.
+inline constexpr double kUnset = -1.0;
+
+enum class ExitStatus : std::uint8_t {
+  kCompleted,  // "Terminated" in PAI, "Passed" in Philly
+  kFailed,
+  kKilled,   // user-terminated (SuperCloud / Philly only)
+  kTimeout,  // exceeded allocation (SuperCloud)
+};
+
+[[nodiscard]] std::string_view to_string(ExitStatus status);
+
+enum class GpuModel : std::uint8_t {
+  kNone,   // PAI: user did not specify a type (assigned misc low-end)
+  kT4,
+  kNonT4,  // PAI: P100/V100 aggregated (low individual support, Sec. IV-D)
+  kV100,   // SuperCloud
+  kMem12GB,  // Philly (device name unknown in the trace)
+  kMem24GB,
+};
+
+[[nodiscard]] std::string_view to_string(GpuModel model);
+
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  std::string user;
+  std::string group;         // PAI job group ("" = none)
+  std::string framework;     // Tensorflow / PyTorch / ...
+  std::string model_family;  // CV / NLP / RecSys ("" = unlabeled)
+
+  GpuModel gpu_model = GpuModel::kNone;
+  int num_gpus = 1;
+  bool multi_task = false;  // PAI: job spawned multiple task instances
+
+  double cpu_request_cores = kUnset;
+  double mem_request_gb = kUnset;
+
+  double submit_time_s = 0.0;
+  double queue_time_s = kUnset;
+  double runtime_s = 0.0;
+  int num_attempts = 1;  // Philly auto-retry counter
+  ExitStatus status = ExitStatus::kCompleted;
+
+  // Node-level measurements (job aggregates over the monitoring series).
+  double cpu_util = kUnset;      // % of allocated cores
+  double mem_used_gb = kUnset;   // host memory
+  double sm_util = kUnset;       // mean GPU SM utilization, %
+  double sm_util_min = kUnset;
+  double sm_util_max = kUnset;
+  double sm_util_var = kUnset;
+  double gmem_util = kUnset;     // GPU memory *bandwidth* utilization, %
+  double gmem_util_var = kUnset;
+  double gmem_used_gb = kUnset;  // GPU memory occupied
+  double gpu_power_w = kUnset;
+};
+
+}  // namespace gpumine::trace

@@ -1,0 +1,36 @@
+#include "trace/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::trace {
+
+TimeSeries sample_profile(const UtilProfile& profile, double runtime_s,
+                          const MonitorConfig& config, Rng& rng) {
+  GPUMINE_CHECK_ARG(config.dt_s > 0.0, "cadence must be positive");
+  GPUMINE_CHECK_ARG(config.max_samples >= 2, "need at least 2 samples");
+  GPUMINE_CHECK_ARG(runtime_s > 0.0, "runtime must be positive");
+
+  double dt = config.dt_s;
+  const double nominal = runtime_s / dt;
+  if (nominal > static_cast<double>(config.max_samples)) {
+    // Decimate: keep dt an integer multiple of the nominal cadence so the
+    // series still lands on genuine collection instants.
+    const double factor =
+        std::ceil(nominal / static_cast<double>(config.max_samples));
+    dt *= factor;
+  }
+
+  TimeSeries series(dt);
+  const auto n = static_cast<std::size_t>(std::floor(runtime_s / dt)) + 1;
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    series.push(profile.value_at(std::min(t, runtime_s), runtime_s, rng));
+  }
+  return series;
+}
+
+}  // namespace gpumine::trace

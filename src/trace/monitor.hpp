@@ -1,0 +1,28 @@
+// Monitoring collector simulation.
+//
+// Samples a UtilProfile over a job's lifetime at the cadence of the
+// studied system (100 ms nvidia-smi on SuperCloud, 10 s Slurm, 1 min
+// Ganglia on Philly — paper Sec. II) and returns the series. Long jobs
+// would need millions of 100 ms samples; `max_samples` decimates the
+// cadence uniformly (keeping dt an integer multiple of the nominal one)
+// — the job-level aggregates the miner uses are statistically unchanged.
+#pragma once
+
+#include <cstddef>
+
+#include "trace/profile.hpp"
+#include "trace/timeseries.hpp"
+
+namespace gpumine::trace {
+
+struct MonitorConfig {
+  double dt_s = 1.0;              // nominal collection cadence
+  std::size_t max_samples = 512;  // decimation budget per job
+};
+
+/// Samples `profile` from t=0 to t=runtime_s.
+[[nodiscard]] TimeSeries sample_profile(const UtilProfile& profile,
+                                        double runtime_s,
+                                        const MonitorConfig& config, Rng& rng);
+
+}  // namespace gpumine::trace

@@ -1,0 +1,60 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::trace {
+
+UtilProfile::UtilProfile(std::vector<Phase> phases, double floor,
+                         double ceiling)
+    : phases_(std::move(phases)), floor_(floor), ceiling_(ceiling) {
+  GPUMINE_CHECK_ARG(!phases_.empty(), "profile needs at least one phase");
+  GPUMINE_CHECK_ARG(floor_ <= ceiling_, "floor must not exceed ceiling");
+  double total = 0.0;
+  for (const Phase& p : phases_) {
+    GPUMINE_CHECK_ARG(p.duration_frac > 0.0,
+                      "phase duration fraction must be positive");
+    total += p.duration_frac;
+  }
+  for (Phase& p : phases_) p.duration_frac /= total;
+}
+
+UtilProfile UtilProfile::constant(double level, double jitter, double floor,
+                                  double ceiling) {
+  return UtilProfile({Phase{1.0, level, jitter, 0.0, 0.0, 0.0}}, floor,
+                     ceiling);
+}
+
+double UtilProfile::value_at(double t, double runtime_s, Rng& rng) const {
+  GPUMINE_CHECK_ARG(runtime_s > 0.0, "runtime must be positive");
+  const double frac = std::clamp(t / runtime_s, 0.0, 1.0);
+
+  // Locate the phase containing `frac`.
+  double acc = 0.0;
+  const Phase* phase = &phases_.back();
+  for (const Phase& p : phases_) {
+    acc += p.duration_frac;
+    if (frac < acc || &p == &phases_.back()) {
+      phase = &p;
+      break;
+    }
+  }
+
+  double level = phase->level;
+  if (phase->burst_prob > 0.0 && rng.bernoulli(phase->burst_prob)) {
+    return std::clamp(rng.uniform(phase->burst_lo, phase->burst_hi), floor_,
+                      ceiling_);
+  }
+  if (phase->dip_period_s > 0.0 && phase->dip_duty > 0.0) {
+    const double pos = std::fmod(t, phase->dip_period_s) / phase->dip_period_s;
+    if (pos < phase->dip_duty) level = phase->dip_level;
+  }
+  if (phase->jitter > 0.0) {
+    level += rng.normal(0.0, phase->jitter);
+  }
+  return std::clamp(level, floor_, ceiling_);
+}
+
+}  // namespace gpumine::trace

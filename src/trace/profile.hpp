@@ -1,0 +1,62 @@
+// Phase-based utilization profiles.
+//
+// A job's GPU/CPU behaviour over time is modelled as a sequence of
+// phases, each with a base level, Gaussian jitter, and an optional
+// periodic dip (the mini-batch / data-loading stall pattern of DL
+// training, cf. the paper's observation that ML workloads have "static
+// execution between mini-batch iterations"). The Monitor samples these
+// profiles at the trace's collection cadence and derives the job-level
+// aggregates the miner consumes.
+#pragma once
+
+#include <vector>
+
+#include "trace/rng.hpp"
+
+namespace gpumine::trace {
+
+struct Phase {
+  /// Phase length as a fraction of total job runtime; fractions should
+  /// sum to ~1 (normalized internally).
+  double duration_frac = 1.0;
+  /// Base metric level (e.g. %, watts, GB).
+  double level = 0.0;
+  /// Gaussian jitter stddev around the level.
+  double jitter = 0.0;
+  /// Period of the dip pattern in seconds (0 = no dips).
+  double dip_period_s = 0.0;
+  /// Fraction of the period spent dipped (0..1).
+  double dip_duty = 0.0;
+  /// Level during the dip.
+  double dip_level = 0.0;
+  /// Probability that any given monitoring sample catches a short burst
+  /// (e.g. an occasional inference request on an otherwise idle GPU);
+  /// the burst level is drawn uniformly from [burst_lo, burst_hi].
+  double burst_prob = 0.0;
+  double burst_lo = 0.0;
+  double burst_hi = 0.0;
+};
+
+class UtilProfile {
+ public:
+  UtilProfile() = default;
+  UtilProfile(std::vector<Phase> phases, double floor, double ceiling);
+
+  /// Constant profile at `level` (convenience).
+  static UtilProfile constant(double level, double jitter, double floor,
+                              double ceiling);
+
+  /// Metric value at time `t` within a job of length `runtime_s`.
+  /// Jitter draws come from `rng`, so identical (profile, t, rng-state)
+  /// reproduce identical samples.
+  [[nodiscard]] double value_at(double t, double runtime_s, Rng& rng) const;
+
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+
+ private:
+  std::vector<Phase> phases_;
+  double floor_ = 0.0;
+  double ceiling_ = 100.0;
+};
+
+}  // namespace gpumine::trace

@@ -1,0 +1,26 @@
+#include "trace/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::trace {
+
+std::size_t Rng::weighted_choice(std::span<const double> weights) {
+  GPUMINE_CHECK_ARG(!weights.empty(), "weighted_choice on empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  GPUMINE_CHECK_ARG(total > 0.0, "weights must sum to a positive value");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point leftover lands on the last
+}
+
+double Rng::normal_clamped(double mean, double stddev, double lo, double hi) {
+  return std::clamp(normal(mean, stddev), lo, hi);
+}
+
+}  // namespace gpumine::trace

@@ -1,0 +1,71 @@
+// Deterministic random number generation for the synthetic traces.
+//
+// Every generator takes an explicit 64-bit seed; `fork` derives
+// independent streams (per job, per metric) so adding a draw in one
+// component never perturbs another — the property tests rely on exact
+// reproducibility of whole traces.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gpumine::trace {
+
+/// splitmix64 — used to mix seeds for stream forking.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(splitmix64(seed)), seed_(seed) {}
+
+  /// Independent child stream; (seed, stream) pairs map to distinct
+  /// engine states.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(stream + 0x632be59bd9b4e019ull)));
+  }
+
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  [[nodiscard]] double lognormal(double log_mean, double log_sigma) {
+    return std::lognormal_distribution<double>(log_mean, log_sigma)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Index drawn proportionally to `weights` (need not be normalized).
+  [[nodiscard]] std::size_t weighted_choice(std::span<const double> weights);
+
+  /// Value clipped into [lo, hi].
+  [[nodiscard]] double normal_clamped(double mean, double stddev, double lo,
+                                      double hi);
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gpumine::trace

@@ -1,0 +1,229 @@
+#include "trace/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/ensure.hpp"
+
+namespace gpumine::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+// job ids and metric names become file-name components; restrict them to
+// a safe alphabet instead of escaping.
+bool safe_component(const std::string& s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '-' || c == '.' || c == ' ';
+  });
+}
+
+std::string file_component(std::string s) {
+  std::replace(s.begin(), s.end(), ' ', '-');
+  return s;
+}
+
+}  // namespace
+
+Result<TraceStore> TraceStore::open(const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(fs::path(root) / "series", ec);
+  if (ec) {
+    return Error{root, "cannot create store directories: " + ec.message()};
+  }
+  TraceStore store(root);
+  if (!fs::exists(store.index_path())) {
+    std::ofstream index(store.index_path(), std::ios::binary);
+    if (!index) return Error{store.index_path(), "cannot create index"};
+    index << "job_id,metric,samples,dt_s,file\n";
+  }
+  return store;
+}
+
+std::string TraceStore::series_path(const std::string& job_id,
+                                    const std::string& metric) const {
+  return (fs::path(root_) / "series" /
+          (file_component(job_id) + "_" + file_component(metric) + ".csv"))
+      .string();
+}
+
+std::string TraceStore::index_path() const {
+  return (fs::path(root_) / "index.csv").string();
+}
+
+Result<bool> TraceStore::write_series(const std::string& job_id,
+                                      const std::string& metric,
+                                      const TimeSeries& series) {
+  if (!safe_component(job_id) || !safe_component(metric)) {
+    return Error{job_id + "/" + metric,
+                 "ids and metric names must be alphanumeric/_-. "};
+  }
+  const std::string path = series_path(job_id, metric);
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) return Error{path, "cannot open series file"};
+    out.precision(17);  // lossless double round-trip
+    out << "t_s,value\n";
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      out << static_cast<double>(i) * series.dt_s() << ','
+          << series.samples()[i] << '\n';
+    }
+    out.flush();
+    if (!out) return Error{path, "write failed"};
+  }
+  // Rewrite the index without any previous entry for this (job, metric).
+  auto entries = list();
+  if (!entries.ok()) return entries.error();
+  std::ofstream index(index_path(), std::ios::binary | std::ios::trunc);
+  if (!index) return Error{index_path(), "cannot rewrite index"};
+  index << "job_id,metric,samples,dt_s,file\n";
+  for (const Entry& e : entries.value()) {
+    if (e.job_id == job_id && e.metric == metric) continue;
+    index << e.job_id << ',' << e.metric << ',' << e.samples << ','
+          << e.dt_s << ',' << series_path(e.job_id, e.metric) << '\n';
+  }
+  index << job_id << ',' << metric << ',' << series.size() << ','
+        << series.dt_s() << ',' << path << '\n';
+  index.flush();
+  if (!index) return Error{index_path(), "index write failed"};
+  return true;
+}
+
+Result<TimeSeries> TraceStore::read_series(const std::string& job_id,
+                                           const std::string& metric) const {
+  const std::string path = series_path(job_id, metric);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{path, "series not found"};
+  std::string line;
+  if (!std::getline(in, line) || line != "t_s,value") {
+    return Error{path, "bad series header"};
+  }
+  double dt = 1.0;
+  std::vector<double> values;
+  double prev_t = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) return Error{path, "bad series row"};
+    try {
+      const double t = std::stod(line.substr(0, comma));
+      values.push_back(std::stod(line.substr(comma + 1)));
+      if (values.size() == 2) dt = t - prev_t;
+      prev_t = t;
+    } catch (const std::exception&) {
+      return Error{path, "unparsable series row '" + line + "'"};
+    }
+  }
+  TimeSeries series(dt);
+  series.reserve(values.size());
+  for (double v : values) series.push(v);
+  return series;
+}
+
+Result<std::vector<TraceStore::Entry>> TraceStore::list() const {
+  std::ifstream in(index_path(), std::ios::binary);
+  if (!in) return Error{index_path(), "missing index"};
+  std::string line;
+  if (!std::getline(in, line) || line != "job_id,metric,samples,dt_s,file") {
+    return Error{index_path(), "bad index header"};
+  }
+  std::vector<Entry> entries;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Entry e;
+    std::string samples;
+    std::string dt;
+    std::string file;
+    if (!std::getline(fields, e.job_id, ',') ||
+        !std::getline(fields, e.metric, ',') ||
+        !std::getline(fields, samples, ',') || !std::getline(fields, dt, ',') ||
+        !std::getline(fields, file)) {
+      return Error{index_path() + ":" + std::to_string(line_no),
+                   "bad index row"};
+    }
+    try {
+      e.samples = std::stoul(samples);
+      e.dt_s = std::stod(dt);
+    } catch (const std::exception&) {
+      return Error{index_path() + ":" + std::to_string(line_no),
+                   "bad index numbers"};
+    }
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.job_id != b.job_id) return a.job_id < b.job_id;
+    return a.metric < b.metric;
+  });
+  return entries;
+}
+
+Result<prep::Table> TraceStore::extract_features() const {
+  auto entries = list();
+  if (!entries.ok()) return entries.error();
+
+  // Collect metrics and jobs in deterministic order.
+  std::vector<std::string> metrics;
+  std::vector<std::string> jobs;
+  for (const Entry& e : entries.value()) {
+    if (std::find(metrics.begin(), metrics.end(), e.metric) == metrics.end()) {
+      metrics.push_back(e.metric);
+    }
+    if (jobs.empty() || jobs.back() != e.job_id) {
+      if (std::find(jobs.begin(), jobs.end(), e.job_id) == jobs.end()) {
+        jobs.push_back(e.job_id);
+      }
+    }
+  }
+  std::sort(metrics.begin(), metrics.end());
+
+  // stats[job][metric] — read every series once.
+  std::map<std::pair<std::string, std::string>, SeriesStats> stats;
+  for (const Entry& e : entries.value()) {
+    auto series = read_series(e.job_id, e.metric);
+    if (!series.ok()) return series.error();
+    stats[{e.job_id, e.metric}] = series.value().stats();
+  }
+
+  prep::Table table;
+  auto& id_col = table.add_categorical("job_id");
+  struct MetricColumns {
+    prep::NumericColumn* mean;
+    prep::NumericColumn* min;
+    prep::NumericColumn* max;
+    prep::NumericColumn* var;
+  };
+  std::vector<MetricColumns> columns;
+  for (const std::string& metric : metrics) {
+    columns.push_back({&table.add_numeric(metric + " Mean"),
+                       &table.add_numeric(metric + " Min"),
+                       &table.add_numeric(metric + " Max"),
+                       &table.add_numeric(metric + " Var")});
+  }
+  for (const std::string& job : jobs) {
+    id_col.push(job);
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      auto it = stats.find({job, metrics[m]});
+      if (it == stats.end() || it->second.count == 0) {
+        columns[m].mean->push_missing();
+        columns[m].min->push_missing();
+        columns[m].max->push_missing();
+        columns[m].var->push_missing();
+      } else {
+        columns[m].mean->push(it->second.mean);
+        columns[m].min->push(it->second.min);
+        columns[m].max->push(it->second.max);
+        columns[m].var->push(it->second.variance);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace gpumine::trace

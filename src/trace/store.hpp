@@ -1,0 +1,68 @@
+// On-disk trace store for per-job monitoring time series.
+//
+// The real MIT SuperCloud release (paper Sec. II, dcc.mit.edu) ships as
+// a directory of per-metric time-series files next to a scheduler log —
+// "data is collected at different levels, thus different features of a
+// job are scattered across different files" (Sec. III-E). This store
+// reproduces that shape so the feature-extraction half of the paper's
+// preprocessing can be exercised against real files:
+//
+//   <root>/index.csv                      job_id,metric,samples,dt_s,file
+//   <root>/series/<job_id>_<metric>.csv   t_s,value rows
+//
+// `extract_features` then replays the paper's aggregation: one table row
+// per job, mean/min/max/variance columns per metric — the input the
+// binning stage consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "prep/table.hpp"
+#include "trace/timeseries.hpp"
+
+namespace gpumine::trace {
+
+class TraceStore {
+ public:
+  /// Opens (and creates if needed) a store rooted at `root`.
+  static Result<TraceStore> open(const std::string& root);
+
+  /// Writes one job metric series; overwrites an existing one.
+  [[nodiscard]] Result<bool> write_series(const std::string& job_id,
+                                          const std::string& metric,
+                                          const TimeSeries& series);
+
+  /// Reads one series back.
+  [[nodiscard]] Result<TimeSeries> read_series(const std::string& job_id,
+                                               const std::string& metric) const;
+
+  struct Entry {
+    std::string job_id;
+    std::string metric;
+    std::size_t samples;
+    double dt_s;
+  };
+  /// Index contents, sorted by (job_id, metric).
+  [[nodiscard]] Result<std::vector<Entry>> list() const;
+
+  /// One row per job, one numeric column per "<metric> <stat>" with
+  /// stat in {Mean, Min, Max, Var}, plus the categorical job_id column —
+  /// ready to left_join onto a scheduler table. Jobs missing a metric
+  /// get NaNs in that metric's columns.
+  [[nodiscard]] Result<prep::Table> extract_features() const;
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+ private:
+  explicit TraceStore(std::string root) : root_(std::move(root)) {}
+
+  [[nodiscard]] std::string series_path(const std::string& job_id,
+                                        const std::string& metric) const;
+  [[nodiscard]] std::string index_path() const;
+
+  std::string root_;
+};
+
+}  // namespace gpumine::trace

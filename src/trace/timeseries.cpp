@@ -1,0 +1,29 @@
+#include "trace/timeseries.hpp"
+
+#include <algorithm>
+
+namespace gpumine::trace {
+
+SeriesStats TimeSeries::stats() const {
+  SeriesStats s;
+  if (samples_.empty()) return s;
+  s.count = samples_.size();
+  s.min = samples_.front();
+  s.max = samples_.front();
+  double sum = 0.0;
+  for (double v : samples_) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double v : samples_) {
+    const double d = v - s.mean;
+    sq += d * d;
+  }
+  s.variance = sq / static_cast<double>(s.count);
+  return s;
+}
+
+}  // namespace gpumine::trace

@@ -1,0 +1,45 @@
+// Per-job metric time series and their job-level aggregates.
+//
+// SuperCloud samples GPU metrics every 100 ms via nvidia-smi, Slurm CPU
+// metrics every 10 s; Philly's Ganglia collector records 1-minute
+// averages (paper Sec. II). Rule mining consumes job-level aggregates
+// (mean, min, max, variance) of these series — exactly the features the
+// paper derives ("SM Util Var = Bin1", "Min SM Util = 0%").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gpumine::trace {
+
+struct SeriesStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double variance = 0.0;  // population variance
+  std::size_t count = 0;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// `dt_s` is the sampling cadence in seconds.
+  explicit TimeSeries(double dt_s) : dt_s_(dt_s) {}
+
+  void push(double v) { samples_.push_back(v); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] double dt_s() const { return dt_s_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+  /// One-pass mean/min/max/variance; zeros (with count 0) when empty.
+  [[nodiscard]] SeriesStats stats() const;
+
+ private:
+  double dt_s_ = 1.0;
+  std::vector<double> samples_;
+};
+
+}  // namespace gpumine::trace

@@ -1,0 +1,159 @@
+#include "analysis/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/trace_configs.hpp"
+#include "analysis/workflow.hpp"
+#include "core/miner.hpp"
+#include "synth/pai.hpp"
+
+namespace gpumine::analysis {
+namespace {
+
+constexpr core::ItemId kTarget = 9;
+
+core::Rule rule(core::Itemset x, core::Itemset y, std::uint64_t joint,
+                std::uint64_t sx, std::uint64_t sy) {
+  return core::make_rule(std::move(x), std::move(y), joint, sx, sy, 1000);
+}
+
+TEST(RuleClassifier, MatchesByPrecedence) {
+  // Rule A: {1} => target, conf 0.9; rule B: {2} => target, conf 0.6.
+  const std::vector<core::Rule> rules = {
+      rule({1}, {kTarget}, 90, 100, 200),
+      rule({2}, {kTarget}, 60, 100, 200),
+  };
+  const RuleClassifier clf(rules, kTarget);
+  ASSERT_EQ(clf.rules().size(), 2u);
+  // Precedence ordering put the conf-0.9 rule first.
+  EXPECT_EQ(clf.rules()[0].antecedent, core::Itemset{1});
+
+  EXPECT_TRUE(clf.predict(core::Itemset{1, 5}));
+  EXPECT_EQ(clf.explain(core::Itemset{1, 5}), 0u);
+  EXPECT_TRUE(clf.predict(core::Itemset{2}));
+  EXPECT_EQ(clf.explain(core::Itemset{2}), 1u);
+  EXPECT_FALSE(clf.predict(core::Itemset{5}));
+  EXPECT_EQ(clf.explain(core::Itemset{5}), RuleClassifier::kNoRule);
+}
+
+TEST(RuleClassifier, ConfidenceFloorFiltersRules) {
+  const std::vector<core::Rule> rules = {
+      rule({1}, {kTarget}, 30, 100, 200),  // conf 0.3: dropped
+      rule({2}, {kTarget}, 80, 100, 200),  // conf 0.8: kept
+  };
+  ClassifierParams params;
+  params.min_confidence = 0.5;
+  const RuleClassifier clf(rules, kTarget, params);
+  EXPECT_EQ(clf.rules().size(), 1u);
+  EXPECT_FALSE(clf.predict(core::Itemset{1}));
+  EXPECT_TRUE(clf.predict(core::Itemset{2}));
+}
+
+TEST(RuleClassifier, IgnoresRulesWithoutTargetInConsequent) {
+  const std::vector<core::Rule> rules = {
+      rule({1}, {3}, 80, 100, 200),        // no target: dropped
+      rule({2}, {kTarget}, 80, 100, 200),  // kept
+  };
+  const RuleClassifier clf(rules, kTarget);
+  EXPECT_EQ(clf.rules().size(), 1u);
+}
+
+TEST(RuleClassifier, DefaultClassConfigurable) {
+  const RuleClassifier pessimist({}, kTarget);
+  EXPECT_FALSE(pessimist.predict(core::Itemset{1}));
+  ClassifierParams optimist_params;
+  optimist_params.default_positive = true;
+  const RuleClassifier optimist({}, kTarget, optimist_params);
+  EXPECT_TRUE(optimist.predict(core::Itemset{1}));
+}
+
+TEST(RuleClassifier, RulesWithTargetInAntecedentAreNeverUsed) {
+  // A rule with the target in its antecedent necessarily lacks it in the
+  // consequent (disjointness), so the classifier drops it — the label
+  // can never leak into prediction.
+  const RuleClassifier clf(
+      {core::make_rule({kTarget}, {1}, 10, 20, 30, 1000)}, kTarget,
+      ClassifierParams{.min_confidence = 0.0});
+  EXPECT_TRUE(clf.rules().empty());
+  EXPECT_FALSE(clf.predict(core::Itemset{kTarget}));
+}
+
+TEST(Evaluation, MetricDefinitions) {
+  Evaluation e;
+  e.true_positives = 30;
+  e.false_positives = 10;
+  e.true_negatives = 50;
+  e.false_negatives = 10;
+  EXPECT_DOUBLE_EQ(e.accuracy(), 0.8);
+  EXPECT_DOUBLE_EQ(e.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(e.recall(), 0.75);
+  EXPECT_DOUBLE_EQ(e.f1(), 0.75);
+
+  const Evaluation empty;
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+}
+
+TEST(Evaluate, CountsOverLabeledDatabase) {
+  const std::vector<core::Rule> rules = {
+      rule({1}, {kTarget}, 80, 100, 200),
+  };
+  const RuleClassifier clf(rules, kTarget);
+  core::TransactionDb db;
+  db.add({1, kTarget});  // TP
+  db.add({1});           // FP
+  db.add({2, kTarget});  // FN
+  db.add({2});           // TN
+  const Evaluation e = evaluate(clf, db);
+  EXPECT_EQ(e.true_positives, 1u);
+  EXPECT_EQ(e.false_positives, 1u);
+  EXPECT_EQ(e.false_negatives, 1u);
+  EXPECT_EQ(e.true_negatives, 1u);
+}
+
+TEST(Evaluate, PaiFailurePredictionIsStrong) {
+  // The paper's takeaway: PAI failure is predictable with simple rules.
+  // Train on one seed, evaluate on a different seed.
+  synth::PaiConfig train_cfg;
+  train_cfg.num_jobs = 8000;
+  synth::PaiConfig test_cfg = train_cfg;
+  test_cfg.seed = 777;
+
+  const auto cfg = pai_config();
+  auto mined = mine(synth::generate_pai(train_cfg).merged(), cfg);
+  const auto failed = mined.prepared.catalog.find("Failed");
+  ASSERT_TRUE(failed.has_value());
+  core::RuleParams rp;
+  rp.min_lift = 1.5;
+  const auto rules = core::generate_rules(mined.mined, rp);
+  const auto cause =
+      core::filter_keyword(rules, *failed, core::KeywordSide::kConsequent);
+
+  ClassifierParams params;
+  params.min_confidence = 0.8;
+  const RuleClassifier clf(cause, *failed, params);
+  ASSERT_GT(clf.rules().size(), 0u);
+
+  // Test transactions must be encoded with the SAME item vocabulary.
+  auto test_prepared = prepare(synth::generate_pai(test_cfg).merged(), cfg);
+  core::TransactionDb remapped;
+  for (std::size_t t = 0; t < test_prepared.db.size(); ++t) {
+    core::Itemset txn;
+    for (core::ItemId id : test_prepared.db[t]) {
+      if (auto mapped = mined.prepared.catalog.find(
+              test_prepared.catalog.name(id))) {
+        txn.push_back(*mapped);
+      }
+    }
+    remapped.add(std::move(txn));
+  }
+  const Evaluation e = evaluate(clf, remapped);
+  EXPECT_GT(e.precision(), 0.65);
+  EXPECT_GT(e.recall(), 0.4);
+  EXPECT_GT(e.f1(), 0.55);
+}
+
+}  // namespace
+}  // namespace gpumine::analysis

@@ -1,0 +1,92 @@
+#include "analysis/compare.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::analysis {
+namespace {
+
+// Two catalogs with the same names interned in different orders — rule
+// matching must go by name, not id.
+struct TwoCatalogs {
+  core::ItemCatalog a;
+  core::ItemCatalog b;
+  TwoCatalogs() {
+    a.intern("Failed");        // a:0
+    a.intern("Multi-GPU");     // a:1
+    a.intern("Short");         // a:2
+    b.intern("Short");         // b:0
+    b.intern("Failed");        // b:1
+    b.intern("Multi-GPU");     // b:2
+  }
+};
+
+core::Rule rule(core::Itemset x, core::Itemset y, std::uint64_t joint,
+                std::uint64_t sx, std::uint64_t sy) {
+  return core::make_rule(std::move(x), std::move(y), joint, sx, sy, 1000);
+}
+
+TEST(CompareRuleSets, MatchesByNameAcrossCatalogs) {
+  const TwoCatalogs c;
+  // a: {Multi-GPU} => {Failed} conf .4; b: same rule (different ids),
+  // conf .25.
+  const std::vector<core::Rule> rules_a = {rule({1}, {0}, 40, 100, 150)};
+  const std::vector<core::Rule> rules_b = {rule({2}, {1}, 25, 100, 150)};
+  const auto cmp = compare_rule_sets(rules_a, c.a, rules_b, c.b);
+  ASSERT_EQ(cmp.matched.size(), 1u);
+  EXPECT_TRUE(cmp.only_a.empty());
+  EXPECT_TRUE(cmp.only_b.empty());
+  EXPECT_NEAR(cmp.matched[0].conf_delta, 0.15, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.jaccard_overlap(), 1.0);
+  EXPECT_NEAR(cmp.mean_abs_conf_delta(), 0.15, 1e-12);
+}
+
+TEST(CompareRuleSets, UnmatchedRulesLandInOnlySets) {
+  const TwoCatalogs c;
+  const std::vector<core::Rule> rules_a = {
+      rule({1}, {0}, 40, 100, 150),  // shared
+      rule({2}, {0}, 30, 100, 150),  // only in a
+  };
+  const std::vector<core::Rule> rules_b = {
+      rule({2}, {1}, 25, 100, 150),  // shared (Multi-GPU => Failed)
+      rule({0}, {2}, 20, 100, 150),  // only in b (Short => Multi-GPU)
+  };
+  const auto cmp = compare_rule_sets(rules_a, c.a, rules_b, c.b);
+  EXPECT_EQ(cmp.matched.size(), 1u);
+  ASSERT_EQ(cmp.only_a.size(), 1u);
+  ASSERT_EQ(cmp.only_b.size(), 1u);
+  EXPECT_DOUBLE_EQ(cmp.jaccard_overlap(), 1.0 / 3.0);
+}
+
+TEST(CompareRuleSets, DirectionMatters) {
+  const TwoCatalogs c;
+  // X => Y in a, Y => X in b: NOT the same rule.
+  const std::vector<core::Rule> rules_a = {rule({1}, {0}, 40, 100, 150)};
+  const std::vector<core::Rule> rules_b = {rule({1}, {2}, 40, 100, 150)};
+  const auto cmp = compare_rule_sets(rules_a, c.a, rules_b, c.b);
+  EXPECT_TRUE(cmp.matched.empty());
+  EXPECT_EQ(cmp.only_a.size(), 1u);
+  EXPECT_EQ(cmp.only_b.size(), 1u);
+}
+
+TEST(CompareRuleSets, DuplicatesMatchOnce) {
+  const TwoCatalogs c;
+  const std::vector<core::Rule> rules_a = {
+      rule({1}, {0}, 40, 100, 150),
+      rule({1}, {0}, 40, 100, 150),
+  };
+  const std::vector<core::Rule> rules_b = {rule({2}, {1}, 25, 100, 150)};
+  const auto cmp = compare_rule_sets(rules_a, c.a, rules_b, c.b);
+  EXPECT_EQ(cmp.matched.size(), 1u);
+  EXPECT_EQ(cmp.only_a.size(), 1u);
+}
+
+TEST(CompareRuleSets, EmptyInputs) {
+  const TwoCatalogs c;
+  const auto cmp = compare_rule_sets({}, c.a, {}, c.b);
+  EXPECT_TRUE(cmp.matched.empty());
+  EXPECT_DOUBLE_EQ(cmp.jaccard_overlap(), 0.0);
+  EXPECT_DOUBLE_EQ(cmp.mean_abs_conf_delta(), 0.0);
+}
+
+}  // namespace
+}  // namespace gpumine::analysis

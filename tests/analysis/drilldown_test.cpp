@@ -1,0 +1,184 @@
+#include "analysis/drilldown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::analysis {
+namespace {
+
+using trace::ExitStatus;
+using trace::JobRecord;
+
+JobRecord job(std::string user, std::string group, int gpus, double hours,
+              double sm_util, ExitStatus status) {
+  JobRecord r;
+  r.user = std::move(user);
+  r.group = std::move(group);
+  r.num_gpus = gpus;
+  r.runtime_s = hours * 3600.0;
+  r.sm_util = sm_util;
+  r.status = status;
+  return r;
+}
+
+std::vector<JobRecord> fleet() {
+  return {
+      // alice: heavy consumer, all idle.
+      job("alice", "g1", 4, 10.0, 0.0, ExitStatus::kCompleted),
+      job("alice", "g1", 4, 10.0, 0.0, ExitStatus::kFailed),
+      // bob: busy and healthy.
+      job("bob", "g1", 8, 20.0, 80.0, ExitStatus::kCompleted),
+      job("bob", "g2", 8, 20.0, 75.0, ExitStatus::kCompleted),
+      // carol: small and failing.
+      job("carol", "g2", 1, 1.0, 50.0, ExitStatus::kFailed),
+      job("carol", "g2", 1, 1.0, 50.0, ExitStatus::kKilled),
+  };
+}
+
+TEST(Drilldown, AggregatesPerUser) {
+  DrilldownParams params;
+  params.sort = DrilldownSort::kGpuHours;
+  const auto stats = drilldown(fleet(), params);
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_EQ(stats[0].principal, "bob");  // 320 GPU-h
+  EXPECT_DOUBLE_EQ(stats[0].gpu_hours, 320.0);
+  EXPECT_EQ(stats[1].principal, "alice");  // 80 GPU-h
+  EXPECT_DOUBLE_EQ(stats[1].idle_gpu_hours, 80.0);
+  EXPECT_DOUBLE_EQ(stats[1].idle_fraction(), 1.0);
+  EXPECT_EQ(stats[1].failed, 1u);
+  EXPECT_EQ(stats[2].principal, "carol");
+  EXPECT_EQ(stats[2].killed, 1u);
+}
+
+TEST(Drilldown, IdleSortPutsWasteFirst) {
+  DrilldownParams params;
+  params.sort = DrilldownSort::kIdleGpuHours;
+  const auto stats = drilldown(fleet(), params);
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].principal, "alice");
+}
+
+TEST(Drilldown, GroupKey) {
+  DrilldownParams params;
+  params.key = DrilldownKey::kGroup;
+  params.sort = DrilldownSort::kGpuHours;
+  const auto stats = drilldown(fleet(), params);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].principal, "g1");  // alice 80 + bob 160
+  EXPECT_DOUBLE_EQ(stats[0].gpu_hours, 240.0);
+}
+
+TEST(Drilldown, FailureRateSortFiltersSmallPrincipals) {
+  DrilldownParams params;
+  params.sort = DrilldownSort::kFailureRate;
+  params.min_jobs_for_rates = 2;
+  const auto stats = drilldown(fleet(), params);
+  // All three users have >= 2 jobs here; carol and alice both at 50%.
+  ASSERT_GE(stats.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats[0].failure_rate(), 0.5);
+
+  params.min_jobs_for_rates = 3;
+  EXPECT_TRUE(drilldown(fleet(), params).empty());  // nobody has 3 jobs
+}
+
+TEST(Drilldown, TopKCaps) {
+  DrilldownParams params;
+  params.top_k = 1;
+  params.sort = DrilldownSort::kGpuHours;
+  EXPECT_EQ(drilldown(fleet(), params).size(), 1u);
+}
+
+TEST(Drilldown, EmptyGroupSkipped) {
+  std::vector<JobRecord> records = {
+      job("u", "", 1, 1.0, 50.0, ExitStatus::kCompleted)};
+  DrilldownParams params;
+  params.key = DrilldownKey::kGroup;
+  EXPECT_TRUE(drilldown(records, params).empty());
+}
+
+TEST(Drilldown, UnsetSmUtilNotCountedAsIdle) {
+  std::vector<JobRecord> records = {
+      job("u", "g", 1, 1.0, trace::kUnset, ExitStatus::kCompleted)};
+  const auto stats = drilldown(records, DrilldownParams{});
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].zero_sm, 0u);
+}
+
+TEST(Drilldown, RenderContainsHeaderAndRows) {
+  const auto stats = drilldown(fleet(), DrilldownParams{});
+  const std::string table = render_drilldown(stats);
+  EXPECT_NE(table.find("principal"), std::string::npos);
+  EXPECT_NE(table.find("alice"), std::string::npos);
+  EXPECT_NE(table.find("fail%"), std::string::npos);
+}
+
+prep::Table fleet_table() {
+  prep::Table t;
+  auto& user = t.add_categorical("User");
+  auto& runtime = t.add_numeric("Runtime");
+  auto& gpus = t.add_numeric("GPUs");
+  auto& sm = t.add_numeric("SM Util");
+  auto& status = t.add_categorical("Status");
+  auto push = [&](const char* u, double hours, double g, double s,
+                  const char* st) {
+    user.push(u);
+    runtime.push(hours * 3600.0);
+    gpus.push(g);
+    sm.push(s);
+    status.push(st);
+  };
+  push("alice", 10.0, 4, 0.0, "Terminated");
+  push("alice", 10.0, 4, 0.0, "Failed");
+  push("bob", 20.0, 8, 80.0, "Terminated");
+  return t;
+}
+
+TEST(DrilldownFromTable, MatchesRecordBasedAggregation) {
+  TableDrilldownSpec spec;
+  spec.gpus_column = "GPUs";
+  DrilldownParams params;
+  params.sort = DrilldownSort::kGpuHours;
+  auto stats = drilldown_from_table(fleet_table(), spec, params);
+  ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+  ASSERT_EQ(stats.value().size(), 2u);
+  EXPECT_EQ(stats.value()[0].principal, "bob");
+  EXPECT_DOUBLE_EQ(stats.value()[0].gpu_hours, 160.0);
+  EXPECT_EQ(stats.value()[1].principal, "alice");
+  EXPECT_DOUBLE_EQ(stats.value()[1].idle_gpu_hours, 80.0);
+  EXPECT_EQ(stats.value()[1].failed, 1u);
+}
+
+TEST(DrilldownFromTable, OptionalColumnsDefault) {
+  TableDrilldownSpec spec;
+  spec.gpus_column = "";       // 1 GPU per job
+  spec.sm_util_column = "";    // no idle accounting
+  spec.status_column = "";     // no failure accounting
+  auto stats = drilldown_from_table(fleet_table(), spec, DrilldownParams{});
+  ASSERT_TRUE(stats.ok());
+  for (const auto& s : stats.value()) {
+    EXPECT_EQ(s.zero_sm, 0u);
+    EXPECT_EQ(s.failed, 0u);
+  }
+}
+
+TEST(DrilldownFromTable, ColumnErrors) {
+  TableDrilldownSpec spec;
+  spec.principal_column = "NoSuchColumn";
+  EXPECT_FALSE(drilldown_from_table(fleet_table(), spec).ok());
+
+  spec = TableDrilldownSpec{};
+  spec.runtime_column = "User";  // categorical, not numeric
+  EXPECT_FALSE(drilldown_from_table(fleet_table(), spec).ok());
+
+  spec = TableDrilldownSpec{};
+  spec.sm_util_column = "Status";  // exists but categorical
+  EXPECT_FALSE(drilldown_from_table(fleet_table(), spec).ok());
+}
+
+TEST(Drilldown, Validation) {
+  DrilldownParams bad;
+  bad.top_k = 0;
+  EXPECT_THROW((void)drilldown(fleet(), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::analysis

@@ -1,0 +1,112 @@
+#include "analysis/summarize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::analysis {
+namespace {
+
+constexpr core::ItemId kKeyword = 9;
+
+core::Rule rule(core::Itemset x, std::uint64_t joint, std::uint64_t sx,
+                std::uint64_t sy, std::uint64_t n = 100) {
+  return core::make_rule(std::move(x), {kKeyword}, joint, sx, sy, n);
+}
+
+// 100 transactions, 40 with the keyword: item 0 covers 30 of them,
+// item 1 covers 15 (10 overlapping with item 0), item 2 covers the
+// 5 keyword transactions nothing else reaches.
+core::TransactionDb build_db() {
+  core::TransactionDb db;
+  for (int i = 0; i < 20; ++i) db.add({0, kKeyword});          // 0 only
+  for (int i = 0; i < 10; ++i) db.add({0, 1, kKeyword});       // 0 and 1
+  for (int i = 0; i < 5; ++i) db.add({1, kKeyword});           // 1 only
+  for (int i = 0; i < 5; ++i) db.add({2, kKeyword});           // 2 only
+  for (int i = 0; i < 60; ++i) db.add({3});                    // no keyword
+  return db;
+}
+
+std::vector<core::Rule> build_rules() {
+  return {
+      rule({0}, 30, 30, 40),  // covers 30
+      rule({1}, 15, 15, 40),  // covers 15 (10 overlap with rule 0)
+      rule({2}, 5, 5, 40),    // covers the last 5
+  };
+}
+
+TEST(Summarize, GreedyCoverOrder) {
+  const auto summary =
+      summarize_cause_rules(build_rules(), build_db(), kKeyword);
+  ASSERT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary[0].rule.antecedent, core::Itemset{0});
+  EXPECT_EQ(summary[0].matched, 30u);
+  EXPECT_EQ(summary[0].newly_covered, 30u);
+  EXPECT_DOUBLE_EQ(summary[0].cumulative_coverage, 0.75);
+
+  EXPECT_EQ(summary[1].rule.antecedent, core::Itemset{1});
+  EXPECT_EQ(summary[1].newly_covered, 5u);  // 10 of its 15 already covered
+  EXPECT_DOUBLE_EQ(summary[1].cumulative_coverage, 0.875);
+
+  EXPECT_EQ(summary[2].rule.antecedent, core::Itemset{2});
+  EXPECT_DOUBLE_EQ(summary[2].cumulative_coverage, 1.0);
+}
+
+TEST(Summarize, MaxRulesCap) {
+  SummarizeParams params;
+  params.max_rules = 1;
+  const auto summary =
+      summarize_cause_rules(build_rules(), build_db(), kKeyword, params);
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].rule.antecedent, core::Itemset{0});
+}
+
+TEST(Summarize, TargetCoverageStopsEarly) {
+  SummarizeParams params;
+  params.target_coverage = 0.70;  // rule {0} alone reaches 0.75
+  const auto summary =
+      summarize_cause_rules(build_rules(), build_db(), kKeyword, params);
+  EXPECT_EQ(summary.size(), 1u);
+}
+
+TEST(Summarize, MinNewCoverageSkipsRedundantRules) {
+  // A rule identical in coverage to rule {0} adds nothing new.
+  auto rules = build_rules();
+  rules.push_back(rule({0, 1}, 10, 10, 40));  // subset of rule 0's cover
+  SummarizeParams params;
+  params.min_new_coverage = 3;
+  const auto summary =
+      summarize_cause_rules(rules, build_db(), kKeyword, params);
+  for (const auto& entry : summary) {
+    EXPECT_GE(entry.newly_covered, 3u);
+  }
+}
+
+TEST(Summarize, IgnoresNonCauseRules) {
+  // A rule whose consequent lacks the keyword must not appear.
+  std::vector<core::Rule> rules = {
+      core::make_rule({0}, {1}, 10, 30, 15, 100),
+  };
+  EXPECT_TRUE(summarize_cause_rules(rules, build_db(), kKeyword).empty());
+}
+
+TEST(Summarize, NoKeywordTransactions) {
+  core::TransactionDb db;
+  db.add({0});
+  EXPECT_TRUE(
+      summarize_cause_rules(build_rules(), db, kKeyword).empty());
+}
+
+TEST(Summarize, Validation) {
+  SummarizeParams bad;
+  bad.max_rules = 0;
+  EXPECT_THROW(
+      (void)summarize_cause_rules(build_rules(), build_db(), kKeyword, bad),
+      std::invalid_argument);
+  bad = SummarizeParams{};
+  bad.target_coverage = 0.0;
+  EXPECT_THROW(
+      (void)summarize_cause_rules(build_rules(), build_db(), kKeyword, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::analysis

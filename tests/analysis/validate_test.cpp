@@ -1,0 +1,73 @@
+#include "analysis/validate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::analysis {
+namespace {
+
+core::Rule rule(core::Itemset x, core::Itemset y, std::uint64_t joint,
+                std::uint64_t sx, std::uint64_t sy) {
+  return core::make_rule(std::move(x), std::move(y), joint, sx, sy, 1000);
+}
+
+// Test database where {0} => {1} holds at conf 0.5, lift 2.5 (P(1)=0.2).
+core::TransactionDb test_db() {
+  core::TransactionDb db;
+  for (int i = 0; i < 20; ++i) db.add({0, 1});
+  for (int i = 0; i < 20; ++i) db.add({0});
+  for (int i = 0; i < 60; ++i) db.add({2});
+  return db;
+}
+
+TEST(ValidateRules, RecomputesMetricsOnTestData) {
+  // Train metrics deliberately inflated: conf 0.9, lift 9.
+  const std::vector<core::Rule> rules = {rule({0}, {1}, 90, 100, 100)};
+  const auto summary = validate_rules(rules, test_db(), /*min_test_lift=*/1.5);
+  ASSERT_EQ(summary.rules.size(), 1u);
+  const auto& v = summary.rules[0];
+  EXPECT_DOUBLE_EQ(v.test.confidence, 0.5);
+  EXPECT_DOUBLE_EQ(v.test.lift, 2.5);
+  EXPECT_NEAR(v.conf_shrinkage, 0.4, 1e-12);
+  EXPECT_NEAR(v.lift_shrinkage, 6.5, 1e-12);
+  EXPECT_TRUE(v.survives);
+  EXPECT_EQ(summary.survivors, 1u);
+}
+
+TEST(ValidateRules, CollapsedRuleFlagged) {
+  // {2} => {1}: never co-occur on the test data -> lift 0, fails floor.
+  const std::vector<core::Rule> rules = {rule({2}, {1}, 50, 100, 100)};
+  const auto summary = validate_rules(rules, test_db());
+  ASSERT_EQ(summary.rules.size(), 1u);
+  EXPECT_FALSE(summary.rules[0].survives);
+  EXPECT_DOUBLE_EQ(summary.rules[0].test.confidence, 0.0);
+  EXPECT_EQ(summary.survivors, 0u);
+}
+
+TEST(ValidateRules, UntestableRulesDropped) {
+  // Item 9 never appears in the test db.
+  const std::vector<core::Rule> rules = {rule({9}, {1}, 50, 100, 100)};
+  const auto summary = validate_rules(rules, test_db());
+  EXPECT_TRUE(summary.rules.empty());
+}
+
+TEST(ValidateRules, MeansAggregateAcrossRules) {
+  const std::vector<core::Rule> rules = {
+      rule({0}, {1}, 90, 100, 100),  // shrinkage 0.4 / 6.5
+      rule({0}, {1}, 50, 100, 200),  // conf .5 -> shrinkage 0.0
+  };
+  const auto summary = validate_rules(rules, test_db());
+  ASSERT_EQ(summary.rules.size(), 2u);
+  EXPECT_NEAR(summary.mean_conf_shrinkage, 0.2, 1e-12);
+}
+
+TEST(ValidateRules, EmptyInputs) {
+  EXPECT_TRUE(validate_rules({}, test_db()).rules.empty());
+  core::TransactionDb empty;
+  EXPECT_TRUE(
+      validate_rules({rule({0}, {1}, 1, 2, 2)}, empty).rules.empty());
+  EXPECT_THROW(
+      (void)validate_rules({}, test_db(), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::analysis

@@ -1,0 +1,76 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::cli {
+namespace {
+
+TEST(Args, FlagFormsAndPositionals) {
+  const auto parsed = Args::parse(
+      {"mine", "--csv", "trace.csv", "--min-support=0.1", "--verbose",
+       "yes"});
+  ASSERT_TRUE(parsed.ok());
+  const Args& args = parsed.value();
+  // A non-flag token after "--name" is that flag's value, so the only
+  // positional is the leading command word.
+  EXPECT_EQ(args.positionals(), (std::vector<std::string>{"mine"}));
+  EXPECT_EQ(args.get("csv"), "trace.csv");
+  EXPECT_EQ(args.get("min-support"), "0.1");
+  EXPECT_EQ(args.get("verbose"), "yes");
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(Args, GetOrFallback) {
+  const auto parsed = Args::parse({"--a", "x"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().get_or("a", "d"), "x");
+  EXPECT_EQ(parsed.value().get_or("b", "d"), "d");
+}
+
+TEST(Args, NumericGetters) {
+  const auto parsed = Args::parse({"--f", "0.25", "--n", "42"});
+  ASSERT_TRUE(parsed.ok());
+  const Args& args = parsed.value();
+  EXPECT_DOUBLE_EQ(args.get_double("f", 0.0).value(), 0.25);
+  EXPECT_EQ(args.get_uint("n", 0).value(), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 1.5).value(), 1.5);
+  EXPECT_EQ(args.get_uint("absent", 7).value(), 7u);
+}
+
+TEST(Args, NumericParseErrors) {
+  const auto parsed = Args::parse({"--f", "abc", "--n", "-3"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().get_double("f", 0.0).ok());
+  EXPECT_FALSE(parsed.value().get_uint("n", 0).ok());
+}
+
+TEST(Args, BareDoubleDashIsError) {
+  EXPECT_FALSE(Args::parse({"--"}).ok());
+}
+
+TEST(Args, ValueStartingWithDashDash) {
+  // "--a --b" treats --b as a new switch, leaving --a valueless.
+  const auto parsed = Args::parse({"--a", "--b", "v"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().get("a"), "");
+  EXPECT_EQ(parsed.value().get("b"), "v");
+}
+
+TEST(Args, UnusedTracksUnqueriedFlags) {
+  const auto parsed = Args::parse({"--known", "1", "--typo", "2"});
+  ASSERT_TRUE(parsed.ok());
+  const Args& args = parsed.value();
+  (void)args.get("known");
+  EXPECT_EQ(args.unused(), std::vector<std::string>{"typo"});
+  (void)args.get("typo");
+  EXPECT_TRUE(args.unused().empty());
+}
+
+TEST(Args, EmptyInput) {
+  const auto parsed = Args::parse({});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().positionals().empty());
+}
+
+}  // namespace
+}  // namespace gpumine::cli

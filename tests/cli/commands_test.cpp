@@ -1,0 +1,304 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace gpumine::cli {
+namespace {
+
+struct RunResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+RunResult run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Cli, HelpOnNoArgsAndHelpCommand) {
+  for (const auto& args :
+       {std::vector<std::string>{}, std::vector<std::string>{"help"}}) {
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("usage:"), std::string::npos);
+  }
+}
+
+TEST(Cli, UnknownCommand) {
+  const auto result = run_cli({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, SynthRequiresOut) {
+  const auto result = run_cli({"synth", "--trace", "philly"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--out"), std::string::npos);
+}
+
+TEST(Cli, SynthRejectsUnknownTraceAndFlags) {
+  EXPECT_EQ(run_cli({"synth", "--trace", "borg", "--out", "x.csv"}).code, 2);
+  const auto typo = run_cli({"synth", "--trace", "philly", "--out",
+                             temp_path("t.csv"), "--jbos", "10"});
+  EXPECT_EQ(typo.code, 2);
+  EXPECT_NE(typo.err.find("--jbos"), std::string::npos);
+}
+
+TEST(Cli, SynthThenItemsetsThenMine) {
+  const std::string csv = temp_path("cli_trace.csv");
+  const auto synth = run_cli(
+      {"synth", "--trace", "philly", "--jobs", "4000", "--out", csv});
+  ASSERT_EQ(synth.code, 0) << synth.err;
+  EXPECT_NE(synth.out.find("4000 jobs"), std::string::npos);
+
+  const auto itemsets =
+      run_cli({"itemsets", "--csv", csv, "--min-support", "0.1", "--top",
+               "5", "--bare", "Status", "--group", "User"});
+  ASSERT_EQ(itemsets.code, 0) << itemsets.err;
+  EXPECT_NE(itemsets.out.find("frequent itemsets"), std::string::npos);
+
+  const auto mine = run_cli({"mine", "--csv", csv, "--keyword", "Failed",
+                             "--bare", "Status", "--group", "User",
+                             "--max-rows", "3"});
+  ASSERT_EQ(mine.code, 0) << mine.err;
+  EXPECT_NE(mine.out.find("keyword: Failed"), std::string::npos);
+  EXPECT_NE(mine.out.find("cause analysis"), std::string::npos);
+}
+
+TEST(Cli, MineRequiresKeyword) {
+  const std::string csv = temp_path("cli_trace2.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "supercloud", "--jobs", "2000",
+                     "--out", csv})
+                .code,
+            0);
+  const auto result = run_cli({"mine", "--csv", csv});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--keyword"), std::string::npos);
+}
+
+TEST(Cli, MineUnknownKeywordFailsCleanly) {
+  const std::string csv = temp_path("cli_trace3.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "supercloud", "--jobs", "2000",
+                     "--out", csv})
+                .code,
+            0);
+  const auto result =
+      run_cli({"mine", "--csv", csv, "--keyword", "No Such Item", "--bare",
+               "Status"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("No Such Item"), std::string::npos);
+}
+
+TEST(Cli, MineMissingCsvFileIsError) {
+  const auto result = run_cli(
+      {"mine", "--csv", "/does/not/exist.csv", "--keyword", "Failed"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("exist.csv"), std::string::npos);
+}
+
+TEST(Cli, MineOutputFormats) {
+  const std::string csv = temp_path("cli_fmt.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  const std::vector<std::string> base = {"mine",  "--csv",    csv,
+                                         "--keyword", "Failed", "--bare",
+                                         "Status"};
+  auto with_format = [&](const char* format) {
+    auto args = base;
+    args.push_back("--format");
+    args.push_back(format);
+    return run_cli(args);
+  };
+  const auto table = with_format("table");
+  EXPECT_EQ(table.code, 0);
+  EXPECT_NE(table.out.find("cause analysis"), std::string::npos);
+  const auto csv_out = with_format("csv");
+  EXPECT_EQ(csv_out.code, 0);
+  EXPECT_NE(csv_out.out.find("kind,antecedent,consequent"),
+            std::string::npos);
+  const auto json_out = with_format("json");
+  EXPECT_EQ(json_out.code, 0);
+  EXPECT_NE(json_out.out.find("\"keyword\":\"Failed\""), std::string::npos);
+  const auto md = with_format("md");
+  EXPECT_EQ(md.code, 0);
+  EXPECT_NE(md.out.find("| Antecedent |"), std::string::npos);
+  EXPECT_EQ(with_format("yaml").code, 2);
+}
+
+TEST(Cli, ItemsetsSaveThenMineLoad) {
+  const std::string csv = temp_path("cli_save.csv");
+  const std::string archive = temp_path("cli_save.itemsets");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto saved = run_cli({"itemsets", "--csv", csv, "--bare", "Status",
+                              "--save", archive, "--top", "1"});
+  ASSERT_EQ(saved.code, 0) << saved.err;
+  EXPECT_NE(saved.out.find("saved itemsets"), std::string::npos);
+
+  // Mining from the archive must match mining from the CSV.
+  const auto from_csv = run_cli(
+      {"mine", "--csv", csv, "--keyword", "Failed", "--bare", "Status"});
+  const auto from_archive =
+      run_cli({"mine", "--load", archive, "--keyword", "Failed"});
+  ASSERT_EQ(from_archive.code, 0) << from_archive.err;
+  EXPECT_EQ(from_csv.out, from_archive.out);
+}
+
+TEST(Cli, MineLoadMissingArchive) {
+  const auto result =
+      run_cli({"mine", "--load", "/no/such.itemsets", "--keyword", "X"});
+  EXPECT_EQ(result.code, 2);
+}
+
+TEST(Cli, PredictEndToEnd) {
+  const std::string csv = temp_path("cli_trace5.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "pai", "--jobs", "6000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto result = run_cli(
+      {"predict", "--csv", csv, "--target", "Failed", "--bare",
+       "Status,Framework,Tasks", "--group", "User,Group", "--drop",
+       "job_id,Queue,Runtime,CPU Util,Memory Used,SM Util,GMem Used"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("precision="), std::string::npos);
+  EXPECT_NE(result.out.find("rule[0]"), std::string::npos);
+}
+
+TEST(Cli, PredictValidation) {
+  const std::string csv = temp_path("cli_trace6.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "1000",
+                     "--out", csv})
+                .code,
+            0);
+  // Missing --target.
+  EXPECT_EQ(run_cli({"predict", "--csv", csv}).code, 2);
+  // Bad holdout.
+  EXPECT_EQ(run_cli({"predict", "--csv", csv, "--target", "Failed",
+                     "--holdout", "1.5"})
+                .code,
+            2);
+  // Unknown target item.
+  EXPECT_EQ(run_cli({"predict", "--csv", csv, "--target", "Nope", "--bare",
+                     "Status"})
+                .code,
+            1);
+}
+
+TEST(Cli, DigestEndToEnd) {
+  const std::string csv = temp_path("cli_digest.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "pai", "--jobs", "6000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto result = run_cli({"digest", "--csv", csv, "--keyword", "Failed",
+                               "--bare", "Status,Framework", "--group",
+                               "User,Group", "--exclude", "Terminated"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("digest (greedy coverage"), std::string::npos);
+  EXPECT_NE(result.out.find("certified"), std::string::npos);
+  EXPECT_NE(result.out.find("safe patterns"), std::string::npos);
+  EXPECT_EQ(result.out.find("{Terminated}"), std::string::npos);
+  // Missing keyword.
+  EXPECT_EQ(run_cli({"digest", "--csv", csv}).code, 2);
+}
+
+TEST(Cli, CompareArchives) {
+  const std::string csv_a = temp_path("cli_cmp_a.csv");
+  const std::string csv_b = temp_path("cli_cmp_b.csv");
+  const std::string ar_a = temp_path("cli_cmp_a.itemsets");
+  const std::string ar_b = temp_path("cli_cmp_b.itemsets");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000",
+                     "--seed", "1", "--out", csv_a})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000",
+                     "--seed", "2", "--out", csv_b})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"itemsets", "--csv", csv_a, "--bare", "Status",
+                     "--save", ar_a})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"itemsets", "--csv", csv_b, "--bare", "Status",
+                     "--save", ar_b})
+                .code,
+            0);
+  const auto result =
+      run_cli({"compare", "--a", ar_a, "--b", ar_b, "--keyword", "Failed"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("shared:"), std::string::npos);
+  // Same generator, different seed: overlap should be substantial.
+  EXPECT_EQ(result.out.find("Jaccard 0)"), std::string::npos);
+  // Missing flags.
+  EXPECT_EQ(run_cli({"compare", "--a", ar_a}).code, 2);
+}
+
+TEST(Cli, ReportDrilldown) {
+  const std::string csv = temp_path("cli_report.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "supercloud", "--jobs", "3000",
+                     "--out", csv})
+                .code,
+            0);
+  const auto result = run_cli({"report", "--csv", csv, "--top", "3"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("principal"), std::string::npos);
+  EXPECT_NE(result.out.find("idle%"), std::string::npos);
+  // Bad sort flag.
+  EXPECT_EQ(run_cli({"report", "--csv", csv, "--sort", "sideways"}).code, 2);
+  // Missing CSV.
+  EXPECT_EQ(run_cli({"report"}).code, 2);
+}
+
+TEST(Cli, ItemsetsFamilySelection) {
+  const std::string csv = temp_path("cli_family.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "2000", "--out",
+                     csv})
+                .code,
+            0);
+  auto count_of = [&](const char* family) {
+    const auto result = run_cli({"itemsets", "--csv", csv, "--bare",
+                                 "Status", "--family", family, "--top", "1"});
+    EXPECT_EQ(result.code, 0) << result.err;
+    return std::stoul(result.out.substr(result.out.find_first_of("0123456789")));
+  };
+  const auto all = count_of("all");
+  const auto closed = count_of("closed");
+  const auto maximal = count_of("maximal");
+  EXPECT_LE(closed, all);
+  EXPECT_LE(maximal, closed);
+  EXPECT_GT(maximal, 0u);
+  EXPECT_EQ(run_cli({"itemsets", "--csv", csv, "--family", "open"}).code, 2);
+}
+
+TEST(Cli, ItemsetsAlgorithmSelection) {
+  const std::string csv = temp_path("cli_trace4.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "1500", "--out",
+                     csv})
+                .code,
+            0);
+  for (const char* algorithm : {"fpgrowth", "apriori", "eclat"}) {
+    const auto result = run_cli({"itemsets", "--csv", csv, "--algorithm",
+                                 algorithm, "--min-support", "0.2"});
+    EXPECT_EQ(result.code, 0) << algorithm << ": " << result.err;
+  }
+  EXPECT_EQ(
+      run_cli({"itemsets", "--csv", csv, "--algorithm", "magic"}).code, 2);
+}
+
+}  // namespace
+}  // namespace gpumine::cli

@@ -1,0 +1,58 @@
+#include "core/eclat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+using testutil::brute_force;
+using testutil::expect_same;
+using testutil::make_db;
+
+TEST(Eclat, MatchesOracleOnSmallExample) {
+  const auto db = make_db({{0, 1, 4}, {1, 3}, {1, 2}, {0, 1, 3}, {0, 2}});
+  MiningParams params;
+  params.min_support = 0.4;
+  expect_same(mine_eclat(db, params).itemsets, brute_force(db, params));
+}
+
+TEST(Eclat, MaxLengthRespected) {
+  const auto db = make_db({{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}});
+  MiningParams params;
+  params.min_support = 1.0;
+  params.max_length = 2;
+  const auto result = mine_eclat(db, params);
+  for (const auto& fi : result.itemsets) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+  EXPECT_EQ(result.itemsets.size(), 10u);  // C(4,1) + C(4,2)
+}
+
+TEST(Eclat, SparseItems) {
+  // Item 9 appears once; with min count 2 it must vanish entirely.
+  const auto db = make_db({{0, 9}, {0}, {0}});
+  MiningParams params;
+  params.min_support = 0.5;
+  const auto result = mine_eclat(db, params);
+  ASSERT_EQ(result.itemsets.size(), 1u);
+  EXPECT_EQ(result.itemsets[0].items, Itemset{0});
+}
+
+TEST(Eclat, EmptyDatabase) {
+  TransactionDb db;
+  EXPECT_TRUE(mine_eclat(db, MiningParams{}).itemsets.empty());
+}
+
+TEST(Eclat, DeepNesting) {
+  const auto db = testutil::random_db(/*seed=*/11, /*num_txns=*/80,
+                                      /*num_items=*/9);
+  MiningParams params;
+  params.min_support = 0.05;
+  params.max_length = 5;
+  expect_same(mine_eclat(db, params).itemsets, brute_force(db, params));
+}
+
+}  // namespace
+}  // namespace gpumine::core

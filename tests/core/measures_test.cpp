@@ -1,0 +1,97 @@
+#include "core/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpumine::core {
+namespace {
+
+// |D|=100, |X|=40, |Y|=50, |XY|=20.
+constexpr ContingencyCounts kBase{40, 50, 20, 100};
+
+TEST(Measures, Jaccard) {
+  EXPECT_DOUBLE_EQ(jaccard(kBase), 20.0 / 70.0);
+}
+
+TEST(Measures, Cosine) {
+  EXPECT_DOUBLE_EQ(cosine(kBase), 20.0 / std::sqrt(40.0 * 50.0));
+}
+
+TEST(Measures, Kulczynski) {
+  EXPECT_DOUBLE_EQ(kulczynski(kBase), 0.5 * (20.0 / 40.0 + 20.0 / 50.0));
+}
+
+TEST(Measures, ImbalanceRatio) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio(kBase), 10.0 / 70.0);
+  // Symmetric marginals -> zero imbalance.
+  EXPECT_DOUBLE_EQ(imbalance_ratio({40, 40, 10, 100}), 0.0);
+}
+
+TEST(Measures, PhiBounds) {
+  // Perfect positive association.
+  EXPECT_NEAR(phi_coefficient({50, 50, 50, 100}), 1.0, 1e-12);
+  // Perfect negative association.
+  EXPECT_NEAR(phi_coefficient({50, 50, 0, 100}), -1.0, 1e-12);
+  // Independence.
+  EXPECT_NEAR(phi_coefficient({50, 40, 20, 100}), 0.0, 1e-12);
+}
+
+TEST(Measures, AddedValue) {
+  EXPECT_DOUBLE_EQ(added_value(kBase), 0.5 - 0.5);
+  EXPECT_DOUBLE_EQ(added_value({40, 20, 20, 100}), 0.5 - 0.2);
+}
+
+TEST(Measures, NullInvarianceOfCosineAndKulczynski) {
+  // Adding transactions containing neither X nor Y must not change the
+  // null-invariant measures, while lift-like measures would move.
+  const ContingencyCounts small{40, 50, 20, 100};
+  const ContingencyCounts diluted{40, 50, 20, 10000};
+  EXPECT_DOUBLE_EQ(cosine(small), cosine(diluted));
+  EXPECT_DOUBLE_EQ(kulczynski(small), kulczynski(diluted));
+  EXPECT_DOUBLE_EQ(jaccard(small), jaccard(diluted));
+  EXPECT_NE(phi_coefficient(small), phi_coefficient(diluted));
+}
+
+TEST(Measures, ExtendedBundleMatchesIndividuals) {
+  const ExtendedMeasures m = extended_measures(kBase);
+  EXPECT_DOUBLE_EQ(m.jaccard, jaccard(kBase));
+  EXPECT_DOUBLE_EQ(m.cosine, cosine(kBase));
+  EXPECT_DOUBLE_EQ(m.kulczynski, kulczynski(kBase));
+  EXPECT_DOUBLE_EQ(m.imbalance_ratio, imbalance_ratio(kBase));
+  EXPECT_DOUBLE_EQ(m.phi, phi_coefficient(kBase));
+  EXPECT_DOUBLE_EQ(m.added_value, added_value(kBase));
+}
+
+TEST(Measures, Validation) {
+  EXPECT_THROW((void)jaccard({40, 50, 45, 100}), std::invalid_argument);
+  EXPECT_THROW((void)jaccard({40, 50, 20, 0}), std::invalid_argument);
+  EXPECT_THROW((void)jaccard({101, 50, 20, 100}), std::invalid_argument);
+  // Inclusion-exclusion violation: |X|+|Y|-|XY| > |D|.
+  EXPECT_THROW((void)jaccard({80, 80, 10, 100}), std::invalid_argument);
+}
+
+TEST(Measures, RangeProperties) {
+  // All bounded measures stay in range on a sweep of valid tables.
+  for (std::uint64_t x = 1; x <= 50; x += 7) {
+    for (std::uint64_t y = 1; y <= 50; y += 7) {
+      for (std::uint64_t j = 0; j <= std::min(x, y); j += 3) {
+        if (x + y - j > 100) continue;
+        const ContingencyCounts c{x, y, j, 100};
+        EXPECT_GE(jaccard(c), 0.0);
+        EXPECT_LE(jaccard(c), 1.0);
+        EXPECT_GE(cosine(c), 0.0);
+        EXPECT_LE(cosine(c), 1.0 + 1e-12);
+        EXPECT_GE(kulczynski(c), 0.0);
+        EXPECT_LE(kulczynski(c), 1.0);
+        EXPECT_GE(imbalance_ratio(c), 0.0);
+        EXPECT_LE(imbalance_ratio(c), 1.0);
+        EXPECT_GE(phi_coefficient(c), -1.0 - 1e-12);
+        EXPECT_LE(phi_coefficient(c), 1.0 + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpumine::core

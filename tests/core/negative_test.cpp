@@ -1,0 +1,136 @@
+#include "core/negative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fpgrowth.hpp"
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+using testutil::make_db;
+
+constexpr ItemId kFailed = 9;
+
+// 100 transactions: item 0 NEVER co-occurs with kFailed; item 1 always
+// does; item 2 is independent (co-occurs at the base rate).
+TransactionDb build_db() {
+  TransactionDb db;
+  for (int i = 0; i < 40; ++i) db.add({0, 2});          // safe jobs
+  for (int i = 0; i < 10; ++i) db.add({0});             // safe jobs
+  for (int i = 0; i < 30; ++i) db.add({1, kFailed});    // failing jobs
+  for (int i = 0; i < 20; ++i) db.add({2, kFailed});    // background
+  return db;
+}
+
+TEST(NegativeRules, FindsTheNeverFailsPattern) {
+  const auto db = build_db();
+  MiningParams mp;
+  mp.min_support = 0.05;
+  const auto mined = mine_fpgrowth(db, mp);
+  NegativeRuleParams params;
+  params.min_confidence = 0.9;
+  const auto rules = generate_negative_rules(mined, kFailed, params);
+  ASSERT_FALSE(rules.empty());
+  // {0} => ¬Failed: the true joint is 0, but {0, Failed} being absent
+  // from the frequent family only proves joint < 5% — the generator
+  // reports the conservative floor values: conf (50-5)/50, supp
+  // (50-5)/100, lift conf / supp(¬Failed).
+  const auto it =
+      std::find_if(rules.begin(), rules.end(), [](const NegativeRule& r) {
+        return r.antecedent == Itemset{0};
+      });
+  ASSERT_NE(it, rules.end());
+  EXPECT_DOUBLE_EQ(it->confidence, 0.9);
+  EXPECT_DOUBLE_EQ(it->support, 0.45);
+  EXPECT_DOUBLE_EQ(it->lift, 1.8);
+  EXPECT_EQ(it->negated, kFailed);
+}
+
+TEST(NegativeRules, AlwaysFailingPatternExcluded) {
+  const auto db = build_db();
+  MiningParams mp;
+  mp.min_support = 0.05;
+  const auto mined = mine_fpgrowth(db, mp);
+  const auto rules = generate_negative_rules(mined, kFailed);
+  for (const auto& r : rules) {
+    EXPECT_NE(r.antecedent, Itemset{1});  // 100% failing: no negative rule
+    EXPECT_FALSE(contains(r.antecedent, kFailed));
+  }
+}
+
+TEST(NegativeRules, IndependentItemFailsLiftFloor) {
+  const auto db = build_db();
+  MiningParams mp;
+  mp.min_support = 0.05;
+  const auto mined = mine_fpgrowth(db, mp);
+  NegativeRuleParams params;
+  params.min_confidence = 0.0;
+  params.min_lift = 1.3;  // item 2: conf(¬F|2) = 40/60, lift = 1.33
+  const auto rules = generate_negative_rules(mined, kFailed, params);
+  // {2}'s lift 1.33 passes 1.3 but {0}'s 2.0 should rank first.
+  ASSERT_GE(rules.size(), 2u);
+  EXPECT_EQ(rules[0].antecedent, Itemset{0});
+}
+
+TEST(NegativeRules, MissingJointUsesConservativeFloor) {
+  // {0} and kFailed never co-occur, so {0, kFailed} is not frequent; the
+  // generator must assume the joint sits at the mining floor rather than
+  // claim perfect confidence... unless the floor says otherwise.
+  TransactionDb db;
+  for (int i = 0; i < 90; ++i) db.add({0});
+  for (int i = 0; i < 10; ++i) db.add({kFailed});
+  MiningParams mp;
+  mp.min_support = 0.05;
+  const auto mined = mine_fpgrowth(db, mp);
+  NegativeRuleParams params;
+  params.min_confidence = 0.0;
+  params.min_lift = 0.0;
+  params.mining_min_support = 0.05;
+  const auto rules = generate_negative_rules(mined, kFailed, params);
+  const auto it =
+      std::find_if(rules.begin(), rules.end(), [](const NegativeRule& r) {
+        return r.antecedent == Itemset{0};
+      });
+  ASSERT_NE(it, rules.end());
+  // Conservative confidence: (90 - 5) / 90, not 1.0.
+  EXPECT_NEAR(it->confidence, 85.0 / 90.0, 1e-9);
+}
+
+TEST(NegativeRules, InfrequentKeywordYieldsNothing) {
+  TransactionDb db;
+  for (int i = 0; i < 99; ++i) db.add({0});
+  db.add({kFailed});
+  MiningParams mp;
+  mp.min_support = 0.05;
+  const auto mined = mine_fpgrowth(db, mp);
+  EXPECT_TRUE(generate_negative_rules(mined, kFailed).empty());
+}
+
+TEST(NegativeRules, ExcludedAntecedentItemsRespected) {
+  const auto db = build_db();
+  MiningParams mp;
+  mp.min_support = 0.05;
+  const auto mined = mine_fpgrowth(db, mp);
+  NegativeRuleParams params;
+  params.min_confidence = 0.0;
+  params.min_lift = 0.0;
+  params.excluded_antecedent_items = {0};
+  const auto rules = generate_negative_rules(mined, kFailed, params);
+  EXPECT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    EXPECT_FALSE(contains(r.antecedent, 0));
+  }
+}
+
+TEST(NegativeRules, Validation) {
+  NegativeRuleParams bad;
+  bad.min_confidence = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = NegativeRuleParams{};
+  bad.mining_min_support = -0.1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::core

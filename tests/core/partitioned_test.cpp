@@ -1,0 +1,81 @@
+#include "core/partitioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fpgrowth.hpp"
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+using testutil::expect_same;
+
+class PartitionedSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(PartitionedSweep, MatchesSingleMachineExactly) {
+  const auto [seed, partitions] = GetParam();
+  const auto db = testutil::random_db(seed, /*num_txns=*/200,
+                                      /*num_items=*/11);
+  MiningParams mining;
+  mining.min_support = 0.08;
+  PartitionedParams params;
+  params.mining = mining;
+  params.num_partitions = partitions;
+  params.num_threads = 2;
+  const auto exact = mine_fpgrowth(db, mining);
+  const auto son = mine_partitioned(db, params);
+  expect_same(son.itemsets, exact.itemsets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPartitions, PartitionedSweep,
+    ::testing::Combine(::testing::Values(1u, 5u, 9u),
+                       ::testing::Values(1u, 2u, 4u, 7u)),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) + "_p" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(Partitioned, MorePartitionsThanTransactions) {
+  const auto db = testutil::make_db({{0, 1}, {0}, {1}});
+  PartitionedParams params;
+  params.mining.min_support = 0.3;
+  params.num_partitions = 10;  // clamped to |D|
+  const auto result = mine_partitioned(db, params);
+  expect_same(result.itemsets, mine_fpgrowth(db, params.mining).itemsets);
+}
+
+TEST(Partitioned, EmptyDatabase) {
+  TransactionDb db;
+  PartitionedParams params;
+  EXPECT_TRUE(mine_partitioned(db, params).itemsets.empty());
+}
+
+TEST(Partitioned, SkewedPartitionContentStillExact) {
+  // First half of the database is all {0,1}, second half all {2,3}:
+  // locally-frequent itemsets differ wildly per partition, the global
+  // verification pass must reconcile them.
+  TransactionDb db;
+  for (int i = 0; i < 50; ++i) db.add({0, 1});
+  for (int i = 0; i < 50; ++i) db.add({2, 3});
+  PartitionedParams params;
+  params.mining.min_support = 0.4;
+  params.num_partitions = 2;
+  const auto result = mine_partitioned(db, params);
+  expect_same(result.itemsets, mine_fpgrowth(db, params.mining).itemsets);
+  // {0,1} and {2,3} are both globally frequent at 50%.
+  const auto map = result.support_map();
+  EXPECT_TRUE(map.contains(Itemset{0, 1}));
+  EXPECT_TRUE(map.contains(Itemset{2, 3}));
+}
+
+TEST(Partitioned, Validation) {
+  PartitionedParams bad;
+  bad.num_partitions = 0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::core

@@ -1,0 +1,243 @@
+// Tests for the four keyword pruning conditions of Sec. III-D.
+//
+// Rules are built with exact counts so lift/support land on chosen
+// values; the keyword item is 9 throughout. C_lift = C_supp = 1.5
+// (the paper's setting) unless stated.
+#include "core/pruning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace gpumine::core {
+namespace {
+
+constexpr ItemId kKeyword = 9;
+constexpr std::uint64_t kN = 1000;
+
+Rule rule(Itemset x, Itemset y, std::uint64_t joint, std::uint64_t sx,
+          std::uint64_t sy) {
+  return make_rule(std::move(x), std::move(y), joint, sx, sy, kN);
+}
+
+bool survives(const std::vector<Rule>& out, const Itemset& x,
+              const Itemset& y) {
+  return std::any_of(out.begin(), out.end(), [&](const Rule& r) {
+    return r.antecedent == x && r.consequent == y;
+  });
+}
+
+// ---- Condition 1: cause analysis, nested antecedents, shared consequent.
+
+TEST(PruneCondition1, ShorterRuleGeneralizesDropLonger) {
+  // lift(R1) = 1.5, lift(R2) = 1.5: C_lift * lift(R1) >= lift(R2).
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),     // R1: conf .3, lift 1.5
+      rule({1, 2}, {kKeyword}, 15, 50, 200),   // R2: conf .3, lift 1.5
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_TRUE(survives(out, {1}, {kKeyword}));
+  EXPECT_FALSE(survives(out, {1, 2}, {kKeyword}));
+}
+
+TEST(PruneCondition1, LongerRuleStrongerAndSupportedDropShorter) {
+  // lift(R2) = 2.5 > 1.5 * lift(R1) = 2.25; supp(R2)*1.5 >= supp(R1).
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),    // R1: lift 1.5, supp .030
+      rule({1, 2}, {kKeyword}, 25, 50, 200),  // R2: lift 2.5, supp .025
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_FALSE(survives(out, {1}, {kKeyword}));
+  EXPECT_TRUE(survives(out, {1, 2}, {kKeyword}));
+}
+
+TEST(PruneCondition1, StrongButRareLongerRuleKeepsBoth) {
+  // lift(R2) beats the slack but its support is too small to oust R1.
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),    // R1: lift 1.5, supp .030
+      rule({1, 2}, {kKeyword}, 15, 30, 200),  // R2: lift 2.5, supp .015
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_TRUE(survives(out, {1}, {kKeyword}));
+  EXPECT_TRUE(survives(out, {1, 2}, {kKeyword}));
+}
+
+TEST(PruneCondition1, RequiresSharedConsequent) {
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),
+      rule({1, 2}, {3, kKeyword}, 15, 50, 100),  // different consequent
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---- Condition 2: characteristic analysis, shared antecedent with the
+// keyword, nested consequents.
+
+TEST(PruneCondition2, SpecificConsequentPreferredWhenClose) {
+  // lifts equal, supports equal-ish: the longer consequent wins.
+  const std::vector<Rule> rules = {
+      rule({kKeyword}, {1}, 60, 100, 300),     // R1: lift 2.0, supp .06
+      rule({kKeyword}, {1, 2}, 50, 100, 250),  // R2: lift 2.0, supp .05
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_FALSE(survives(out, {kKeyword}, {1}));
+  EXPECT_TRUE(survives(out, {kKeyword}, {1, 2}));
+}
+
+TEST(PruneCondition2, ShortRuleClearlyStrongerDropsLongOne) {
+  // lift(R1) = 3.0 > 1.5 * lift(R2) = 1.5 * 1.6 = 2.4.
+  const std::vector<Rule> rules = {
+      rule({kKeyword}, {1}, 90, 100, 300),     // R1: conf .9, lift 3.0
+      rule({kKeyword}, {1, 2}, 40, 100, 250),  // R2: conf .4, lift 1.6
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_TRUE(survives(out, {kKeyword}, {1}));
+  EXPECT_FALSE(survives(out, {kKeyword}, {1, 2}));
+}
+
+TEST(PruneCondition2, MiddleGroundKeepsBoth) {
+  // lift close (no prune of long) but support of the long rule too low
+  // to oust the short one.
+  const std::vector<Rule> rules = {
+      rule({kKeyword}, {1}, 90, 100, 300),     // lift 3.0, supp .090
+      rule({kKeyword}, {1, 2}, 25, 100, 100),  // lift 2.5, supp .025
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---- Condition 3: cause analysis, nested consequents both holding the
+// keyword, shared antecedent.
+
+TEST(PruneCondition3, ConciseConsequentWins) {
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 60, 100, 300),     // lift 2.0
+      rule({1}, {2, kKeyword}, 50, 100, 250),  // lift 2.0
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_TRUE(survives(out, {1}, {kKeyword}));
+  EXPECT_FALSE(survives(out, {1}, {2, kKeyword}));
+}
+
+TEST(PruneCondition3, LongerKeptWhenClearlyStronger) {
+  // lift(R2) = 3.2 > 1.5 * lift(R1) = 3.0: no prune from condition 3.
+  // (Condition 2 does not apply: keyword not in the antecedent.)
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 60, 100, 300),     // lift 2.0
+      rule({1}, {2, kKeyword}, 80, 100, 250),  // lift 3.2
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---- Condition 4: characteristic analysis, nested antecedents both
+// holding the keyword, shared consequent.
+
+TEST(PruneCondition4, ShorterAntecedentGeneralizes) {
+  const std::vector<Rule> rules = {
+      rule({kKeyword}, {1}, 60, 100, 300),     // lift 2.0
+      rule({2, kKeyword}, {1}, 30, 50, 300),   // lift 2.0
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_TRUE(survives(out, {kKeyword}, {1}));
+  EXPECT_FALSE(survives(out, {2, kKeyword}, {1}));
+}
+
+TEST(PruneCondition4, LongerKeptWhenClearlyStronger) {
+  const std::vector<Rule> rules = {
+      rule({kKeyword}, {1}, 60, 100, 300),    // lift 2.0
+      rule({2, kKeyword}, {1}, 50, 50, 300),  // lift ~3.33 > 1.5 * 2.0
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---- Cross-cutting behaviour.
+
+TEST(PruneRules, RulesWithoutKeywordPassThrough) {
+  const std::vector<Rule> rules = {
+      rule({1}, {2}, 60, 100, 300),
+      rule({1, 3}, {2}, 30, 50, 300),  // nested, but keyword absent
+  };
+  const auto out = prune_rules(rules, kKeyword, PruneParams{});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(PruneRules, OrderIndependence) {
+  std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),
+      rule({1, 2}, {kKeyword}, 25, 50, 200),
+      rule({1, 3}, {kKeyword}, 15, 50, 200),
+      rule({kKeyword}, {4}, 60, 100, 300),
+      rule({kKeyword}, {4, 5}, 50, 100, 250),
+      rule({2}, {kKeyword}, 40, 120, 200),
+  };
+  const auto baseline = prune_rules(rules, kKeyword, PruneParams{});
+  std::mt19937 shuffler(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(rules.begin(), rules.end(), shuffler);
+    const auto out = prune_rules(rules, kKeyword, PruneParams{});
+    ASSERT_EQ(out.size(), baseline.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].antecedent, baseline[i].antecedent);
+      EXPECT_EQ(out[i].consequent, baseline[i].consequent);
+    }
+  }
+}
+
+TEST(PruneRules, StatsArePopulated) {
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),
+      rule({1, 2}, {kKeyword}, 15, 50, 200),
+  };
+  PruneStats stats;
+  const auto out = prune_rules(rules, kKeyword, PruneParams{}, &stats);
+  EXPECT_EQ(stats.input, 2u);
+  EXPECT_EQ(stats.kept, out.size());
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_GE(stats.pruned_by[0], 1u);  // condition 1 fired
+}
+
+TEST(PruneRules, SlackFactorsChangeOutcomes) {
+  // lift(R1) = 1.5, lift(R2) = 2.0. With C_lift = 1.5 the short rule
+  // covers (2.25 >= 2.0, drop long); with C_lift = 1.0 it does not, and
+  // the long one takes over on support.
+  const std::vector<Rule> rules = {
+      rule({1}, {kKeyword}, 30, 100, 200),    // lift 1.5, supp .030
+      rule({1, 2}, {kKeyword}, 20, 50, 200),  // lift 2.0, supp .020
+  };
+  const auto relaxed = prune_rules(rules, kKeyword, PruneParams{1.5, 1.5});
+  EXPECT_TRUE(survives(relaxed, {1}, {kKeyword}));
+  EXPECT_FALSE(survives(relaxed, {1, 2}, {kKeyword}));
+
+  const auto strict = prune_rules(rules, kKeyword, PruneParams{1.0, 1.5});
+  EXPECT_FALSE(survives(strict, {1}, {kKeyword}));
+  EXPECT_TRUE(survives(strict, {1, 2}, {kKeyword}));
+}
+
+TEST(PruneParams, Validation) {
+  PruneParams bad;
+  bad.c_lift = 0.9;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.c_lift = 1.5;
+  bad.c_supp = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(FilterKeyword, BySide) {
+  const std::vector<Rule> rules = {
+      rule({kKeyword}, {1}, 60, 100, 300),
+      rule({1}, {kKeyword}, 30, 100, 200),
+      rule({1}, {2}, 30, 100, 200),
+  };
+  EXPECT_EQ(filter_keyword(rules, kKeyword).size(), 2u);
+  EXPECT_EQ(
+      filter_keyword(rules, kKeyword, KeywordSide::kAntecedent).size(), 1u);
+  EXPECT_EQ(
+      filter_keyword(rules, kKeyword, KeywordSide::kConsequent).size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpumine::core

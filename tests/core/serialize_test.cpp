@@ -1,0 +1,111 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/fpgrowth.hpp"
+#include "core/rules.hpp"
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+std::pair<MiningResult, ItemCatalog> mined_fixture() {
+  ItemCatalog catalog;
+  catalog.intern("Failed");
+  catalog.intern("Multi-GPU");
+  catalog.intern("SM Util = 0%");
+  const auto db = testutil::random_db(/*seed=*/4, /*num_txns=*/80,
+                                      /*num_items=*/3);
+  MiningParams params;
+  params.min_support = 0.1;
+  return {mine_fpgrowth(db, params), std::move(catalog)};
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  auto [result, catalog] = mined_fixture();
+  std::stringstream stream;
+  save_mining_result(result, catalog, stream);
+  auto loaded = load_mining_result(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  const auto& back = loaded.value();
+  EXPECT_EQ(back.result.db_size, result.db_size);
+  ASSERT_EQ(back.result.itemsets.size(), result.itemsets.size());
+  for (std::size_t i = 0; i < result.itemsets.size(); ++i) {
+    EXPECT_EQ(back.result.itemsets[i].items, result.itemsets[i].items);
+    EXPECT_EQ(back.result.itemsets[i].count, result.itemsets[i].count);
+  }
+  ASSERT_EQ(back.catalog.size(), catalog.size());
+  for (ItemId id = 0; id < catalog.size(); ++id) {
+    EXPECT_EQ(back.catalog.name(id), catalog.name(id));
+  }
+}
+
+TEST(Serialize, ItemNamesWithSpacesSurvive) {
+  ItemCatalog catalog;
+  catalog.intern("GPU Type = None T4");
+  MiningResult result;
+  result.db_size = 10;
+  result.itemsets.push_back({{0}, 7});
+  std::stringstream stream;
+  save_mining_result(result, catalog, stream);
+  auto loaded = load_mining_result(stream);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().catalog.name(0), "GPU Type = None T4");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  auto [result, catalog] = mined_fixture();
+  const std::string path = ::testing::TempDir() + "/gpumine_itemsets.txt";
+  const auto saved = save_mining_result_file(result, catalog, path);
+  ASSERT_TRUE(saved.ok()) << saved.error().to_string();
+  auto loaded = load_mining_result_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().result.itemsets.size(), result.itemsets.size());
+}
+
+TEST(Serialize, DownstreamRulesIdenticalAfterRoundTrip) {
+  auto [result, catalog] = mined_fixture();
+  std::stringstream stream;
+  save_mining_result(result, catalog, stream);
+  auto loaded = load_mining_result(stream);
+  ASSERT_TRUE(loaded.ok());
+  RuleParams params;
+  params.min_lift = 0.0;
+  const auto before = generate_rules(result, params);
+  const auto after = generate_rules(loaded.value().result, params);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].antecedent, after[i].antecedent);
+    EXPECT_DOUBLE_EQ(before[i].lift, after[i].lift);
+  }
+}
+
+TEST(Deserialize, RejectsMalformedInput) {
+  const char* cases[] = {
+      "",                                             // empty
+      "wrong header\n",                               // bad magic
+      "gpumine-itemsets v1\n",                        // truncated
+      "gpumine-itemsets v1\ndb_size x\n",             // bad number
+      "gpumine-itemsets v1\ndb_size 5\nitems 1\n",    // truncated items
+      "gpumine-itemsets v1\ndb_size 5\nitems 1\n7 a\nitemsets 0\n",  // id gap
+      "gpumine-itemsets v1\ndb_size 5\nitems 1\n0 a\nitemsets 1\n9 1 0\n",
+      // ^ support count 9 > db_size 5
+      "gpumine-itemsets v1\ndb_size 5\nitems 1\n0 a\nitemsets 1\n3 2 0 0\n",
+      // ^ non-canonical itemset (duplicate id)
+      "gpumine-itemsets v1\ndb_size 5\nitems 1\n0 a\nitemsets 1\n3 1 4\n",
+      // ^ unknown item id
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    EXPECT_FALSE(load_mining_result(in).ok()) << text;
+  }
+}
+
+TEST(Deserialize, MissingFile) {
+  EXPECT_FALSE(load_mining_result_file("/no/such/file").ok());
+}
+
+}  // namespace
+}  // namespace gpumine::core

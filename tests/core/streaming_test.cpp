@@ -1,0 +1,138 @@
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fpgrowth.hpp"
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+TEST(SlidingWindow, MatchesBatchMiningOverTheWindow) {
+  MiningParams params;
+  params.min_support = 0.2;
+  SlidingWindowMiner miner(/*window_size=*/50, params);
+  const auto db = testutil::random_db(/*seed=*/3, /*num_txns=*/120,
+                                      /*num_items=*/8);
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const auto txn = db[t];
+    miner.push(Itemset(txn.begin(), txn.end()));
+  }
+  EXPECT_EQ(miner.size(), 50u);
+  EXPECT_EQ(miner.total_pushed(), 120u);
+
+  // Reference: batch mining over the last 50 transactions.
+  TransactionDb window;
+  for (std::size_t t = 70; t < 120; ++t) {
+    const auto txn = db[t];
+    window.add(Itemset(txn.begin(), txn.end()));
+  }
+  testutil::expect_same(miner.mine().itemsets,
+                        mine_fpgrowth(window, params).itemsets);
+}
+
+TEST(SlidingWindow, EvictionChangesResults) {
+  MiningParams params;
+  params.min_support = 0.9;
+  SlidingWindowMiner miner(/*window_size=*/10, params);
+  for (int i = 0; i < 10; ++i) miner.push({0});
+  auto before = miner.mine();
+  ASSERT_EQ(before.itemsets.size(), 1u);
+  EXPECT_EQ(before.itemsets[0].items, Itemset{0});
+  // Push ten {1}-transactions: item 0 fully evicted.
+  for (int i = 0; i < 10; ++i) miner.push({1});
+  auto after = miner.mine();
+  ASSERT_EQ(after.itemsets.size(), 1u);
+  EXPECT_EQ(after.itemsets[0].items, Itemset{1});
+}
+
+TEST(SlidingWindow, Validation) {
+  EXPECT_THROW(SlidingWindowMiner(0, MiningParams{}), std::invalid_argument);
+  MiningParams bad;
+  bad.min_support = 0.0;
+  EXPECT_THROW(SlidingWindowMiner(10, bad), std::invalid_argument);
+}
+
+TEST(LossyCounter, ExactOnShortStreams) {
+  // Fewer transactions than one bucket: counts are exact, delta 0.
+  LossyCounter counter(/*epsilon=*/0.01);  // bucket width 100
+  for (int i = 0; i < 50; ++i) counter.push(Itemset{0, 1});
+  for (int i = 0; i < 10; ++i) counter.push(Itemset{2});
+  const auto hot = counter.frequent(0.5);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].count, 50u);
+  EXPECT_EQ(hot[0].delta, 0u);
+}
+
+TEST(LossyCounter, GuaranteesOnLongStream) {
+  // Ground truth: item i appears with probability p[i].
+  constexpr double kEpsilon = 0.005;
+  constexpr double kSupport = 0.10;
+  trace::Rng rng(11);
+  const double p[] = {0.50, 0.20, 0.101, 0.099, 0.02, 0.001};
+  std::vector<std::uint64_t> truth(6, 0);
+  LossyCounter counter(kEpsilon);
+  constexpr std::uint64_t kN = 20000;
+  for (std::uint64_t t = 0; t < kN; ++t) {
+    Itemset txn;
+    for (ItemId i = 0; i < 6; ++i) {
+      if (rng.bernoulli(p[i])) {
+        txn.push_back(i);
+        ++truth[i];
+      }
+    }
+    counter.push(txn);
+  }
+  const auto hot = counter.frequent(kSupport);
+  auto reported = [&](ItemId item) {
+    return std::any_of(hot.begin(), hot.end(),
+                       [&](const auto& e) { return e.item == item; });
+  };
+  for (ItemId i = 0; i < 6; ++i) {
+    const double freq = static_cast<double>(truth[i]) / kN;
+    if (freq >= kSupport) {
+      EXPECT_TRUE(reported(i)) << "item " << i << " freq " << freq;
+    }
+    if (freq < kSupport - kEpsilon) {
+      EXPECT_FALSE(reported(i)) << "item " << i << " freq " << freq;
+    }
+  }
+  // Count error bound: maintained count in [truth - εN, truth].
+  for (const auto& e : hot) {
+    EXPECT_LE(e.count, truth[e.item]);
+    EXPECT_GE(static_cast<double>(e.count),
+              static_cast<double>(truth[e.item]) - kEpsilon * kN);
+  }
+}
+
+TEST(LossyCounter, MemoryStaysBounded) {
+  // A stream of mostly-unique items: tracked entries must stay far below
+  // the number of distinct items seen.
+  LossyCounter counter(/*epsilon=*/0.01);
+  trace::Rng rng(5);
+  for (std::uint64_t t = 0; t < 50000; ++t) {
+    counter.push(
+        Itemset{static_cast<ItemId>(rng.uniform_int(0, 99999))});
+  }
+  EXPECT_LT(counter.tracked(), 5000u);
+  EXPECT_EQ(counter.processed(), 50000u);
+}
+
+TEST(LossyCounter, DuplicateItemsInTransactionCountOnce) {
+  LossyCounter counter(0.1);
+  counter.push(Itemset{3, 3, 3});
+  const auto hot = counter.frequent(1.0);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].count, 1u);
+}
+
+TEST(LossyCounter, Validation) {
+  EXPECT_THROW(LossyCounter(0.0), std::invalid_argument);
+  EXPECT_THROW(LossyCounter(1.0), std::invalid_argument);
+  LossyCounter counter(0.1);
+  EXPECT_THROW((void)counter.frequent(0.0), std::invalid_argument);
+  EXPECT_THROW((void)counter.frequent(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::core

@@ -1,0 +1,70 @@
+#include "core/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fpgrowth.hpp"
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+TEST(TopK, FindsHighestThresholdWithAtLeastK) {
+  const auto db = testutil::random_db(/*seed=*/5, /*num_txns=*/200,
+                                      /*num_items=*/10);
+  for (const std::size_t k : {1u, 5u, 20u, 100u}) {
+    const TopKResult out = mine_topk(db, k);
+    EXPECT_GE(out.result.itemsets.size(), k) << "k=" << k;
+    // Raising the threshold by one must fall below k (maximality).
+    if (out.min_count < db.size()) {
+      MiningParams tighter;
+      tighter.min_support = static_cast<double>(out.min_count + 1) /
+                            static_cast<double>(db.size());
+      EXPECT_LT(mine_fpgrowth(db, tighter).itemsets.size(), k);
+    }
+    // All returned itemsets respect the discovered threshold.
+    for (const auto& fi : out.result.itemsets) {
+      EXPECT_GE(fi.count, out.min_count);
+    }
+    EXPECT_DOUBLE_EQ(out.effective_support,
+                     static_cast<double>(out.min_count) /
+                         static_cast<double>(db.size()));
+  }
+}
+
+TEST(TopK, KLargerThanUniverseReturnsEverything) {
+  const auto db = testutil::make_db({{0, 1}, {0}, {1}});
+  const TopKResult out = mine_topk(db, 1000);
+  MiningParams everything;
+  everything.min_support = 1.0 / 3.0;
+  testutil::expect_same(out.result.itemsets,
+                        mine_fpgrowth(db, everything).itemsets);
+  EXPECT_EQ(out.min_count, 1u);
+}
+
+TEST(TopK, SingleItemsetDatabase) {
+  TransactionDb db;
+  for (int i = 0; i < 10; ++i) db.add({7});
+  const TopKResult out = mine_topk(db, 1);
+  ASSERT_EQ(out.result.itemsets.size(), 1u);
+  EXPECT_EQ(out.min_count, 10u);  // the maximal threshold still yields 1
+}
+
+TEST(TopK, MaxLengthRespected) {
+  const auto db = testutil::random_db(/*seed=*/9, /*num_txns=*/100,
+                                      /*num_items=*/8);
+  const TopKResult out = mine_topk(db, 10, /*max_length=*/2);
+  for (const auto& fi : out.result.itemsets) {
+    EXPECT_LE(fi.items.size(), 2u);
+  }
+}
+
+TEST(TopK, EmptyDatabaseAndValidation) {
+  TransactionDb db;
+  EXPECT_TRUE(mine_topk(db, 5).result.itemsets.empty());
+  db.add({0});
+  EXPECT_THROW((void)mine_topk(db, 0), std::invalid_argument);
+  EXPECT_THROW((void)mine_topk(db, 1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::core

@@ -1,0 +1,132 @@
+#include "prep/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::prep {
+namespace {
+
+CategoricalColumn make_users() {
+  // heavy: 10 jobs; mid1/mid2: 4 each; rare1..rare2: 1 each.
+  CategoricalColumn col;
+  for (int i = 0; i < 10; ++i) col.push("heavy");
+  for (int i = 0; i < 4; ++i) col.push("mid1");
+  for (int i = 0; i < 4; ++i) col.push("mid2");
+  col.push("rare1");
+  col.push("rare2");
+  return col;
+}
+
+TEST(GroupByShare, TopAndBottomAssignment) {
+  const auto col = make_users();  // 20 rows
+  ShareGroupingParams p;
+  p.top_share = 0.25;     // 5 rows -> "heavy" alone covers 10 >= 5
+  p.bottom_share = 0.10;  // 2 rows -> rare1 + rare2
+  const auto grouped = group_by_share(col, p);
+  EXPECT_EQ(grouped.label(0), "Freq");
+  EXPECT_EQ(grouped.label(10), "Regular");  // mid1
+  EXPECT_EQ(grouped.label(14), "Regular");  // mid2
+  EXPECT_EQ(grouped.label(18), "New");      // rare1
+  EXPECT_EQ(grouped.label(19), "New");
+}
+
+TEST(GroupByShare, GreedyCoverageOvershootsMinimally) {
+  // top_share 0.6 (12 rows): heavy (10) + one mid (4) = 14.
+  const auto col = make_users();
+  ShareGroupingParams p;
+  p.top_share = 0.60;
+  p.bottom_share = 0.0;
+  const auto grouped = group_by_share(col, p);
+  EXPECT_EQ(grouped.label(0), "Freq");
+  // Tie between mid1/mid2 broken by label: mid1 joins the top group.
+  EXPECT_EQ(grouped.label(10), "Freq");
+  EXPECT_EQ(grouped.label(14), "Regular");
+}
+
+TEST(GroupByShare, TopTakesPrecedenceOverBottom) {
+  CategoricalColumn col;
+  col.push("only");
+  ShareGroupingParams p;
+  p.top_share = 1.0;
+  p.bottom_share = 1.0;
+  const auto grouped = group_by_share(col, p);
+  EXPECT_EQ(grouped.label(0), "Freq");
+}
+
+TEST(GroupByShare, MissingRowsStayMissing) {
+  CategoricalColumn col;
+  col.push("a");
+  col.push_missing();
+  const auto grouped = group_by_share(col, ShareGroupingParams{});
+  EXPECT_FALSE(grouped.is_missing(0));
+  EXPECT_TRUE(grouped.is_missing(1));
+}
+
+TEST(GroupByShare, CustomLabels) {
+  CategoricalColumn col;
+  for (int i = 0; i < 8; ++i) col.push("u1");
+  col.push("u2");
+  ShareGroupingParams p;
+  p.top_label = "Freq User";
+  p.middle_label = "Regular User";
+  p.bottom_label = "New User";
+  p.top_share = 0.5;
+  p.bottom_share = 0.12;
+  const auto grouped = group_by_share(col, p);
+  EXPECT_EQ(grouped.label(0), "Freq User");
+  EXPECT_EQ(grouped.label(8), "New User");
+}
+
+TEST(GroupByShare, Validation) {
+  ShareGroupingParams bad;
+  bad.top_share = 1.5;
+  EXPECT_THROW((void)group_by_share(CategoricalColumn{}, bad),
+               std::invalid_argument);
+  bad = ShareGroupingParams{};
+  bad.top_label = "";
+  EXPECT_THROW((void)group_by_share(CategoricalColumn{}, bad),
+               std::invalid_argument);
+}
+
+TEST(MergeCategories, MapsAndKeepsUnmapped) {
+  CategoricalColumn col;
+  col.push("resnet");
+  col.push("vgg");
+  col.push("bert");
+  col.push("custom");
+  col.push_missing();
+  const std::unordered_map<std::string, std::string> mapping{
+      {"resnet", "CV"}, {"vgg", "CV"}, {"bert", "NLP"}};
+  const auto merged = merge_categories(col, mapping);
+  EXPECT_EQ(merged.label(0), "CV");
+  EXPECT_EQ(merged.label(1), "CV");
+  EXPECT_EQ(merged.label(2), "NLP");
+  EXPECT_EQ(merged.label(3), "custom");  // unmapped, kept
+  EXPECT_TRUE(merged.is_missing(4));
+}
+
+TEST(MergeCategories, FallbackReplacesUnmapped) {
+  CategoricalColumn col;
+  col.push("resnet");
+  col.push("custom");
+  const auto merged =
+      merge_categories(col, {{"resnet", "CV"}}, /*fallback=*/"Other");
+  EXPECT_EQ(merged.label(0), "CV");
+  EXPECT_EQ(merged.label(1), "Other");
+}
+
+TEST(TableWrappers, OperateInPlace) {
+  Table t;
+  auto& col = t.add_categorical("User");
+  for (int i = 0; i < 9; ++i) col.push("power");
+  col.push("casual");
+  group_column_by_share(t, "User", ShareGroupingParams{});
+  EXPECT_EQ(t.categorical("User").label(0), "Freq");
+
+  Table m;
+  m.add_categorical("Model").push("resnet");
+  merge_column_categories(m, "Model", {{"resnet", "CV"}});
+  EXPECT_EQ(m.categorical("Model").label(0), "CV");
+}
+
+}  // namespace
+}  // namespace gpumine::prep

@@ -1,0 +1,147 @@
+#include "prep/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gpumine::prep {
+namespace {
+
+Result<Table> parse(const std::string& text, const CsvParams& params = {}) {
+  std::istringstream in(text);
+  return read_csv(in, params);
+}
+
+TEST(CsvRead, BasicTypeInference) {
+  const auto result = parse("name,runtime,gpus\njob1,12.5,2\njob2,7,1\n");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const Table& t = result.value();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_FALSE(t.is_numeric("name"));
+  EXPECT_TRUE(t.is_numeric("runtime"));
+  EXPECT_TRUE(t.is_numeric("gpus"));
+  EXPECT_DOUBLE_EQ(t.numeric("runtime").values[0], 12.5);
+  EXPECT_EQ(t.categorical("name").label(1), "job2");
+}
+
+TEST(CsvRead, EmptyCellsAreMissing) {
+  const auto result = parse("a,b\n1,\n,x\n");
+  ASSERT_TRUE(result.ok());
+  const Table& t = result.value();
+  EXPECT_TRUE(t.numeric("a").is_missing(1));
+  EXPECT_TRUE(t.categorical("b").is_missing(0));
+}
+
+TEST(CsvRead, MixedColumnFallsBackToCategorical) {
+  const auto result = parse("v\n1\nabc\n2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().is_numeric("v"));
+}
+
+TEST(CsvRead, ForceCategorical) {
+  CsvParams params;
+  params.force_categorical = {"job_id"};
+  const auto result = parse("job_id,x\n1,2\n3,4\n", params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().is_numeric("job_id"));
+  EXPECT_TRUE(result.value().is_numeric("x"));
+}
+
+TEST(CsvRead, QuotedFields) {
+  const auto result =
+      parse("a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n\"multi\nline\",2\n");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  const Table& t = result.value();
+  EXPECT_EQ(t.categorical("a").label(0), "hello, world");
+  EXPECT_EQ(t.categorical("b").label(0), "say \"hi\"");
+  EXPECT_EQ(t.categorical("a").label(1), "multi\nline");
+}
+
+TEST(CsvRead, CrLfLineEndings) {
+  const auto result = parse("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(result.value().numeric("b").values[0], 2.0);
+}
+
+TEST(CsvRead, BlankLinesSkipped) {
+  const auto result = parse("a\n1\n\n2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 2u);
+}
+
+TEST(CsvRead, ErrorOnFieldCountMismatch) {
+  const auto result = parse("a,b\n1,2,3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("expected 2"), std::string::npos);
+}
+
+TEST(CsvRead, ErrorOnEmptyInput) {
+  const auto result = parse("");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvRead, ErrorOnDuplicateHeader) {
+  const auto result = parse("a,a\n1,2\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvRead, ErrorOnEmptyColumnName) {
+  const auto result = parse("a,\n1,2\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvRead, ErrorOnUnterminatedQuote) {
+  const auto result = parse("a\n\"oops\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvRead, HeaderOnlyGivesEmptyTable) {
+  const auto result = parse("a,b\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_rows(), 0u);
+  EXPECT_EQ(result.value().num_columns(), 2u);
+}
+
+TEST(CsvRoundTrip, PreservesData) {
+  Table t;
+  auto& num = t.add_numeric("x");
+  auto& cat = t.add_categorical("label");
+  num.push(1.25);
+  cat.push("plain");
+  num.push_missing();
+  cat.push("with, comma");
+  num.push(-3.0);
+  cat.push_missing();
+
+  std::ostringstream out;
+  write_csv(t, out);
+  const auto back = parse(out.str());
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  const Table& r = back.value();
+  EXPECT_EQ(r.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(r.numeric("x").values[0], 1.25);
+  EXPECT_TRUE(r.numeric("x").is_missing(1));
+  EXPECT_EQ(r.categorical("label").label(1), "with, comma");
+  EXPECT_TRUE(r.categorical("label").is_missing(2));
+}
+
+TEST(CsvFile, RoundTripThroughDisk) {
+  Table t;
+  t.add_numeric("v").push(9.5);
+  const std::string path = ::testing::TempDir() + "/gpumine_csv_test.csv";
+  const auto written = write_csv_file(t, path);
+  ASSERT_TRUE(written.ok()) << written.error().to_string();
+  const auto back = read_csv_file(path);
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_DOUBLE_EQ(back.value().numeric("v").values[0], 9.5);
+}
+
+TEST(CsvFile, MissingFileIsError) {
+  const auto result = read_csv_file("/nonexistent/path/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().context, "/nonexistent/path/file.csv");
+}
+
+}  // namespace
+}  // namespace gpumine::prep

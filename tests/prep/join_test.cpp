@@ -1,0 +1,98 @@
+#include "prep/join.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpumine::prep {
+namespace {
+
+Table scheduler_table() {
+  Table t;
+  auto& id = t.add_categorical("job_id");
+  auto& user = t.add_categorical("User");
+  id.push("j1");
+  user.push("alice");
+  id.push("j2");
+  user.push("bob");
+  id.push("j3");
+  user.push("carol");
+  return t;
+}
+
+Table node_table() {
+  Table t;
+  auto& id = t.add_categorical("job_id");
+  auto& util = t.add_numeric("SM Util");
+  auto& state = t.add_categorical("Health");
+  id.push("j2");
+  util.push(55.0);
+  state.push("ok");
+  id.push("j1");
+  util.push(0.0);
+  state.push_missing();
+  return t;
+}
+
+TEST(LeftJoin, MatchesByKey) {
+  const Table joined = left_join(scheduler_table(), node_table(), "job_id");
+  EXPECT_EQ(joined.num_rows(), 3u);
+  EXPECT_EQ(joined.numeric("SM Util").values[0], 0.0);   // j1
+  EXPECT_EQ(joined.numeric("SM Util").values[1], 55.0);  // j2
+  EXPECT_TRUE(joined.numeric("SM Util").is_missing(2));  // j3 unmatched
+  EXPECT_TRUE(joined.categorical("Health").is_missing(0));  // j1: missing cell
+  EXPECT_EQ(joined.categorical("Health").label(1), "ok");   // j2
+  EXPECT_TRUE(joined.categorical("Health").is_missing(2));  // j3 unmatched
+}
+
+TEST(LeftJoin, KeepsLeftColumnsIntact) {
+  const Table joined = left_join(scheduler_table(), node_table(), "job_id");
+  EXPECT_EQ(joined.categorical("User").label(0), "alice");
+  EXPECT_EQ(joined.categorical("job_id").label(2), "j3");
+}
+
+TEST(LeftJoin, DuplicateRightKeysThrow) {
+  Table right;
+  auto& id = right.add_categorical("job_id");
+  auto& x = right.add_numeric("x");
+  x.push(1.0);
+  id.push("j1");
+  // Second row, same key.
+  x.push(2.0);
+  id.push("j1");
+  EXPECT_THROW((void)left_join(scheduler_table(), right, "job_id"),
+               std::invalid_argument);
+}
+
+TEST(LeftJoin, CollidingColumnNamesGetSuffix) {
+  Table right;
+  auto& id = right.add_categorical("job_id");
+  auto& user = right.add_categorical("User");  // collides with left
+  id.push("j1");
+  user.push("ALICE");
+  const Table joined = left_join(scheduler_table(), right, "job_id");
+  EXPECT_TRUE(joined.has_column("User"));
+  EXPECT_TRUE(joined.has_column("User_right"));
+  EXPECT_EQ(joined.categorical("User").label(0), "alice");
+  EXPECT_EQ(joined.categorical("User_right").label(0), "ALICE");
+}
+
+TEST(LeftJoin, MissingLeftKeyYieldsMissingRightValues) {
+  Table left;
+  auto& id = left.add_categorical("job_id");
+  id.push("j1");
+  id.push_missing();
+  const Table joined = left_join(left, node_table(), "job_id");
+  EXPECT_EQ(joined.numeric("SM Util").values[0], 0.0);
+  EXPECT_TRUE(joined.numeric("SM Util").is_missing(1));
+}
+
+TEST(LeftJoin, MissingKeyColumnThrows) {
+  Table left;
+  left.add_categorical("id").push("a");
+  EXPECT_THROW((void)left_join(left, node_table(), "job_id"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::prep

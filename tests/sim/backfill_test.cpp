@@ -1,0 +1,112 @@
+// EASY-backfill scheduler policy tests (extension over the paper's
+// implicit FIFO gang scheduling).
+#include <gtest/gtest.h>
+
+#include "sim/cluster_sim.hpp"
+
+namespace gpumine::sim {
+namespace {
+
+using trace::ExitStatus;
+using trace::GpuModel;
+
+JobRequest job(double submit, int gpus, double duration) {
+  JobRequest r;
+  r.submit_time_s = submit;
+  r.pool = GpuModel::kV100;
+  r.num_gpus = gpus;
+  r.run_duration_s = duration;
+  return r;
+}
+
+SimParams backfill() {
+  SimParams p;
+  p.policy = SchedulerPolicy::kEasyBackfill;
+  return p;
+}
+
+TEST(Backfill, ShortJobSlipsPastBlockedHead) {
+  // 4-GPU pool. Job0 runs 2 GPUs for 100 s. Job1 (head, 4 GPUs) must
+  // wait until t=100. Job2 (1 GPU, 50 s) fits now and finishes before
+  // the head's reservation -> backfills under EASY, waits under FIFO.
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  const std::vector<JobRequest> jobs{
+      job(0.0, 2, 100.0),
+      job(1.0, 4, 10.0),
+      job(2.0, 1, 50.0),
+  };
+  const auto fifo = sim.run(jobs, SimParams{});
+  const auto easy = sim.run(jobs, backfill());
+
+  EXPECT_DOUBLE_EQ(fifo[2].start_time_s, 110.0);  // after the head
+  EXPECT_DOUBLE_EQ(easy[2].start_time_s, 2.0);    // backfilled
+  // The head must not be delayed by the backfill.
+  EXPECT_DOUBLE_EQ(easy[1].start_time_s, fifo[1].start_time_s);
+}
+
+TEST(Backfill, LongJobThatWouldDelayHeadDoesNotBackfill) {
+  // Same setup but the candidate runs past the head's shadow time and
+  // needs more than the "extra" GPUs -> must NOT start early.
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  const std::vector<JobRequest> jobs{
+      job(0.0, 2, 100.0),
+      job(1.0, 4, 10.0),
+      job(2.0, 2, 500.0),  // too long, and extra = 4 - 4 = 0
+  };
+  const auto easy = sim.run(jobs, backfill());
+  EXPECT_GT(easy[2].start_time_s, easy[1].start_time_s);
+  EXPECT_DOUBLE_EQ(easy[1].start_time_s, 100.0);  // head unharmed
+}
+
+TEST(Backfill, ExtraGpusAllowLongNarrowJob) {
+  // 8-GPU pool; job0 holds 4 for 100 s; head needs 6 (shadow t=100 with
+  // extra = free-at-shadow - head = 8 - 6 = 2). A 2-GPU job of any
+  // length fits the extra and may backfill.
+  ClusterSim sim({{GpuModel::kV100, 8}});
+  const std::vector<JobRequest> jobs{
+      job(0.0, 4, 100.0),
+      job(1.0, 6, 10.0),
+      job(2.0, 2, 10000.0),
+  };
+  const auto easy = sim.run(jobs, backfill());
+  EXPECT_DOUBLE_EQ(easy[2].start_time_s, 2.0);
+  EXPECT_DOUBLE_EQ(easy[1].start_time_s, 100.0);  // head still on time
+}
+
+TEST(Backfill, ReducesMeanQueueTimeUnderContention) {
+  // A mixed stream on a small pool: EASY must not increase any head's
+  // start and should cut the mean queue time.
+  ClusterSim sim({{GpuModel::kV100, 8}});
+  std::vector<JobRequest> jobs;
+  trace::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(job(i * 10.0, 1 + static_cast<int>(rng.uniform_int(0, 7)),
+                       60.0 + rng.uniform(0.0, 600.0)));
+  }
+  const auto fifo = sim.run(jobs, SimParams{});
+  const auto easy = sim.run(jobs, backfill());
+  double fifo_sum = 0.0;
+  double easy_sum = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    fifo_sum += fifo[i].queue_time_s;
+    easy_sum += easy[i].queue_time_s;
+  }
+  EXPECT_LT(easy_sum, fifo_sum);
+}
+
+TEST(Backfill, DeterministicAndConserving) {
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 100; ++i) {
+    jobs.push_back(job(i * 5.0, 1 + i % 4, 50.0 + i % 37));
+  }
+  const auto a = sim.run(jobs, backfill());
+  const auto b = sim.run(jobs, backfill());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].start_time_s, b[i].start_time_s);
+    EXPECT_GE(a[i].queue_time_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gpumine::sim

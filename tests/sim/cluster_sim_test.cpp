@@ -1,0 +1,200 @@
+#include "sim/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::sim {
+namespace {
+
+using trace::ExitStatus;
+using trace::GpuModel;
+
+JobRequest job(double submit, GpuModel pool, int gpus, double duration,
+               ExitStatus intended = ExitStatus::kCompleted) {
+  JobRequest r;
+  r.submit_time_s = submit;
+  r.pool = pool;
+  r.num_gpus = gpus;
+  r.run_duration_s = duration;
+  r.intended = intended;
+  return r;
+}
+
+TEST(ClusterSim, UncontendedJobStartsImmediately) {
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  const auto out = sim.run(std::vector<JobRequest>{
+                               job(10.0, GpuModel::kV100, 2, 100.0)},
+                           SimParams{});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].queue_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(out[0].start_time_s, 10.0);
+  EXPECT_DOUBLE_EQ(out[0].finish_time_s, 110.0);
+  EXPECT_DOUBLE_EQ(out[0].runtime_s, 100.0);
+  EXPECT_EQ(out[0].status, ExitStatus::kCompleted);
+  EXPECT_EQ(out[0].attempts, 1);
+}
+
+TEST(ClusterSim, FifoQueueingUnderContention) {
+  ClusterSim sim({{GpuModel::kV100, 1}});
+  const std::vector<JobRequest> jobs{
+      job(0.0, GpuModel::kV100, 1, 50.0),
+      job(1.0, GpuModel::kV100, 1, 50.0),
+      job(2.0, GpuModel::kV100, 1, 50.0),
+  };
+  const auto out = sim.run(jobs, SimParams{});
+  EXPECT_DOUBLE_EQ(out[0].queue_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].start_time_s, 50.0);
+  EXPECT_DOUBLE_EQ(out[1].queue_time_s, 49.0);
+  EXPECT_DOUBLE_EQ(out[2].start_time_s, 100.0);
+}
+
+TEST(ClusterSim, GangJobHeadBlocksThePool) {
+  // A 4-GPU job at the head must wait for the whole pool even though a
+  // later 1-GPU job would fit — no backfill.
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  const std::vector<JobRequest> jobs{
+      job(0.0, GpuModel::kV100, 2, 100.0),   // occupies 2 GPUs
+      job(1.0, GpuModel::kV100, 4, 10.0),    // blocked head
+      job(2.0, GpuModel::kV100, 1, 10.0),    // queued behind the head
+  };
+  const auto out = sim.run(jobs, SimParams{});
+  EXPECT_DOUBLE_EQ(out[1].start_time_s, 100.0);
+  EXPECT_GE(out[2].start_time_s, out[1].start_time_s);
+}
+
+TEST(ClusterSim, IndependentPools) {
+  ClusterSim sim({{GpuModel::kT4, 1}, {GpuModel::kNonT4, 1}});
+  const std::vector<JobRequest> jobs{
+      job(0.0, GpuModel::kNonT4, 1, 1000.0),
+      job(1.0, GpuModel::kT4, 1, 10.0),  // different pool: no wait
+  };
+  const auto out = sim.run(jobs, SimParams{});
+  EXPECT_DOUBLE_EQ(out[1].queue_time_s, 0.0);
+}
+
+TEST(ClusterSim, FailureTruncatesRuntime) {
+  auto j = job(0.0, GpuModel::kV100, 1, 100.0, ExitStatus::kFailed);
+  j.abort_frac = 0.25;
+  ClusterSim sim({{GpuModel::kV100, 1}});
+  const auto out = sim.run(std::vector<JobRequest>{j}, SimParams{});
+  EXPECT_EQ(out[0].status, ExitStatus::kFailed);
+  EXPECT_DOUBLE_EQ(out[0].runtime_s, 25.0);
+  EXPECT_EQ(out[0].attempts, 1);
+}
+
+TEST(ClusterSim, KilledAndTimeoutDoNotRetry) {
+  for (const auto status : {ExitStatus::kKilled, ExitStatus::kTimeout}) {
+    auto j = job(0.0, GpuModel::kV100, 1, 100.0, status);
+    j.abort_frac = 0.5;
+    j.max_attempts = 5;
+    j.retry_success_prob = 1.0;
+    ClusterSim sim({{GpuModel::kV100, 1}});
+    const auto out = sim.run(std::vector<JobRequest>{j}, SimParams{});
+    EXPECT_EQ(out[0].status, status);
+    EXPECT_EQ(out[0].attempts, 1);
+  }
+}
+
+TEST(ClusterSim, RetrySucceedsWithCertainty) {
+  auto j = job(0.0, GpuModel::kV100, 1, 100.0, ExitStatus::kFailed);
+  j.abort_frac = 0.5;
+  j.max_attempts = 2;
+  j.retry_success_prob = 1.0;
+  ClusterSim sim({{GpuModel::kV100, 1}});
+  const auto out = sim.run(std::vector<JobRequest>{j}, SimParams{});
+  EXPECT_EQ(out[0].status, ExitStatus::kCompleted);
+  EXPECT_EQ(out[0].attempts, 2);
+  // 0.5 * 100 failed attempt + full successful rerun.
+  EXPECT_DOUBLE_EQ(out[0].runtime_s, 150.0);
+}
+
+TEST(ClusterSim, RetryExhaustionStaysFailed) {
+  auto j = job(0.0, GpuModel::kV100, 1, 100.0, ExitStatus::kFailed);
+  j.abort_frac = 0.1;
+  j.max_attempts = 3;
+  j.retry_success_prob = 0.0;
+  ClusterSim sim({{GpuModel::kV100, 1}});
+  const auto out = sim.run(std::vector<JobRequest>{j}, SimParams{});
+  EXPECT_EQ(out[0].status, ExitStatus::kFailed);
+  EXPECT_EQ(out[0].attempts, 3);
+  EXPECT_NEAR(out[0].runtime_s, 30.0, 1e-9);
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 50; ++i) {
+    auto j = job(i * 3.0, GpuModel::kV100, 1 + i % 2, 40.0 + i,
+                 i % 3 == 0 ? ExitStatus::kFailed : ExitStatus::kCompleted);
+    j.abort_frac = 0.5;
+    j.max_attempts = 2;
+    j.retry_success_prob = 0.5;
+    jobs.push_back(j);
+  }
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  const auto a = sim.run(jobs, SimParams{99});
+  const auto b = sim.run(jobs, SimParams{99});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].start_time_s, b[i].start_time_s);
+    EXPECT_EQ(a[i].attempts, b[i].attempts);
+    EXPECT_EQ(a[i].status, b[i].status);
+  }
+}
+
+TEST(ClusterSim, ConservationAllJobsComplete) {
+  std::vector<JobRequest> jobs;
+  for (int i = 0; i < 200; ++i) {
+    jobs.push_back(job(static_cast<double>(i % 17), GpuModel::kV100,
+                       1 + i % 4, 10.0 + i % 7));
+  }
+  ClusterSim sim({{GpuModel::kV100, 4}});
+  const auto out = sim.run(jobs, SimParams{});
+  for (const auto& o : out) {
+    EXPECT_GE(o.queue_time_s, 0.0);
+    EXPECT_GT(o.finish_time_s, o.start_time_s);
+  }
+}
+
+TEST(ClusterSim, ValidationErrors) {
+  EXPECT_THROW(ClusterSim({}), std::invalid_argument);
+  EXPECT_THROW(ClusterSim({{GpuModel::kV100, 0}}), std::invalid_argument);
+  EXPECT_THROW(ClusterSim({{GpuModel::kV100, 2}, {GpuModel::kV100, 2}}),
+               std::invalid_argument);
+
+  ClusterSim sim({{GpuModel::kV100, 2}});
+  // Wrong pool.
+  EXPECT_THROW(
+      (void)sim.run(std::vector<JobRequest>{job(0, GpuModel::kT4, 1, 10)},
+                    SimParams{}),
+      std::invalid_argument);
+  // Too many GPUs for the pool.
+  EXPECT_THROW(
+      (void)sim.run(std::vector<JobRequest>{job(0, GpuModel::kV100, 3, 10)},
+                    SimParams{}),
+      std::invalid_argument);
+  // Bad duration / abort_frac / attempts.
+  auto bad = job(0, GpuModel::kV100, 1, 0.0);
+  EXPECT_THROW((void)sim.run(std::vector<JobRequest>{bad}, SimParams{}),
+               std::invalid_argument);
+  bad = job(0, GpuModel::kV100, 1, 10.0);
+  bad.abort_frac = 0.0;
+  EXPECT_THROW((void)sim.run(std::vector<JobRequest>{bad}, SimParams{}),
+               std::invalid_argument);
+  bad = job(0, GpuModel::kV100, 1, 10.0);
+  bad.max_attempts = 0;
+  EXPECT_THROW((void)sim.run(std::vector<JobRequest>{bad}, SimParams{}),
+               std::invalid_argument);
+}
+
+TEST(ClusterSim, EqualSubmitTimesKeepSubmissionOrder) {
+  ClusterSim sim({{GpuModel::kV100, 1}});
+  const std::vector<JobRequest> jobs{
+      job(5.0, GpuModel::kV100, 1, 10.0),
+      job(5.0, GpuModel::kV100, 1, 10.0),
+  };
+  const auto out = sim.run(jobs, SimParams{});
+  EXPECT_DOUBLE_EQ(out[0].start_time_s, 5.0);
+  EXPECT_DOUBLE_EQ(out[1].start_time_s, 15.0);
+}
+
+}  // namespace
+}  // namespace gpumine::sim

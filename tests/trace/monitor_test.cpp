@@ -1,0 +1,66 @@
+#include "trace/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::trace {
+namespace {
+
+TEST(Monitor, SamplesAtNominalCadence) {
+  const auto p = UtilProfile::constant(10.0, 0.0, 0.0, 100.0);
+  Rng rng(1);
+  const auto series =
+      sample_profile(p, /*runtime_s=*/10.0, MonitorConfig{1.0, 512}, rng);
+  EXPECT_DOUBLE_EQ(series.dt_s(), 1.0);
+  EXPECT_EQ(series.size(), 11u);  // t = 0..10 inclusive
+  EXPECT_DOUBLE_EQ(series.stats().mean, 10.0);
+}
+
+TEST(Monitor, DecimatesLongJobs) {
+  const auto p = UtilProfile::constant(10.0, 0.0, 0.0, 100.0);
+  Rng rng(2);
+  // 8 hours at 100ms would be 288k samples; budget caps it.
+  const auto series =
+      sample_profile(p, /*runtime_s=*/8.0 * 3600.0, MonitorConfig{0.1, 256},
+                     rng);
+  EXPECT_LE(series.size(), 257u);
+  EXPECT_GE(series.size(), 128u);
+  // Effective cadence is an integer multiple of the nominal one.
+  const double factor = series.dt_s() / 0.1;
+  EXPECT_NEAR(factor, std::round(factor), 1e-9);
+}
+
+TEST(Monitor, ShortJobKeepsFineCadence) {
+  const auto p = UtilProfile::constant(10.0, 0.0, 0.0, 100.0);
+  Rng rng(3);
+  const auto series =
+      sample_profile(p, /*runtime_s=*/5.0, MonitorConfig{0.1, 512}, rng);
+  EXPECT_DOUBLE_EQ(series.dt_s(), 0.1);
+  EXPECT_EQ(series.size(), 51u);
+}
+
+TEST(Monitor, StatsSeeTheDipPattern) {
+  // Dips to 0 for 30% of each period: min must be 0, mean ~ 35.
+  const UtilProfile p({Phase{1.0, 50.0, 0.0, 10.0, 0.3, 0.0}}, 0.0, 100.0);
+  Rng rng(4);
+  const auto stats =
+      sample_profile(p, /*runtime_s=*/1000.0, MonitorConfig{1.0, 2048}, rng)
+          .stats();
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 50.0);
+  EXPECT_NEAR(stats.mean, 35.0, 2.0);
+  EXPECT_GT(stats.variance, 100.0);
+}
+
+TEST(Monitor, Validation) {
+  const auto p = UtilProfile::constant(1.0, 0.0, 0.0, 1.0);
+  Rng rng(5);
+  EXPECT_THROW((void)sample_profile(p, 10.0, MonitorConfig{0.0, 512}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_profile(p, 10.0, MonitorConfig{1.0, 1}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)sample_profile(p, 0.0, MonitorConfig{1.0, 512}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::trace

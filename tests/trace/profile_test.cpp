@@ -1,0 +1,88 @@
+#include "trace/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::trace {
+namespace {
+
+TEST(UtilProfile, ConstantProfileWithoutJitter) {
+  const auto p = UtilProfile::constant(40.0, 0.0, 0.0, 100.0);
+  Rng rng(1);
+  for (double t : {0.0, 10.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(p.value_at(t, 100.0, rng), 40.0);
+  }
+}
+
+TEST(UtilProfile, ClampsToFloorAndCeiling) {
+  const auto p = UtilProfile::constant(95.0, 50.0, 0.0, 100.0);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double v = p.value_at(1.0, 10.0, rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(UtilProfile, PhasesSelectedByFraction) {
+  // First half at 10, second half at 90.
+  const UtilProfile p({Phase{0.5, 10.0, 0.0, 0.0, 0.0, 0.0},
+                       Phase{0.5, 90.0, 0.0, 0.0, 0.0, 0.0}},
+                      0.0, 100.0);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(p.value_at(10.0, 100.0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(p.value_at(80.0, 100.0, rng), 90.0);
+}
+
+TEST(UtilProfile, PhaseFractionsAreNormalized) {
+  // Fractions 2:6 normalize to 0.25 / 0.75.
+  const UtilProfile p({Phase{2.0, 1.0, 0.0, 0.0, 0.0, 0.0},
+                       Phase{6.0, 2.0, 0.0, 0.0, 0.0, 0.0}},
+                      0.0, 100.0);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(p.value_at(20.0, 100.0, rng), 1.0);
+  EXPECT_DOUBLE_EQ(p.value_at(30.0, 100.0, rng), 2.0);
+}
+
+TEST(UtilProfile, PeriodicDips) {
+  // Period 10s, duty 0.3, dip to 5 from level 50.
+  const UtilProfile p({Phase{1.0, 50.0, 0.0, 10.0, 0.3, 5.0}}, 0.0, 100.0);
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(p.value_at(1.0, 100.0, rng), 5.0);    // 1.0 % 10 < 3
+  EXPECT_DOUBLE_EQ(p.value_at(5.0, 100.0, rng), 50.0);   // outside dip
+  EXPECT_DOUBLE_EQ(p.value_at(12.0, 100.0, rng), 5.0);   // next period
+}
+
+TEST(UtilProfile, BurstsHitAtConfiguredRate) {
+  const UtilProfile p(
+      {Phase{.duration_frac = 1.0, .burst_prob = 0.2, .burst_lo = 80.0,
+             .burst_hi = 90.0}},
+      0.0, 100.0);
+  Rng rng(6);
+  int bursts = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = p.value_at(1.0, 10.0, rng);
+    if (v >= 80.0) {
+      ++bursts;
+      EXPECT_LE(v, 90.0);
+    } else {
+      EXPECT_DOUBLE_EQ(v, 0.0);
+    }
+  }
+  EXPECT_NEAR(bursts / 5000.0, 0.2, 0.03);
+}
+
+TEST(UtilProfile, Validation) {
+  EXPECT_THROW(UtilProfile({}, 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(
+      UtilProfile({Phase{0.0, 1.0, 0.0, 0.0, 0.0, 0.0}}, 0.0, 100.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      UtilProfile({Phase{1.0, 1.0, 0.0, 0.0, 0.0, 0.0}}, 10.0, 0.0),
+      std::invalid_argument);
+  const auto p = UtilProfile::constant(1.0, 0.0, 0.0, 1.0);
+  Rng rng(1);
+  EXPECT_THROW((void)p.value_at(0.0, 0.0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gpumine::trace

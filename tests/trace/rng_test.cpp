@@ -1,0 +1,119 @@
+#include "trace/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gpumine::trace {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng root(7);
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  Rng f1_again = root.fork(1);
+  EXPECT_DOUBLE_EQ(f1.uniform(), f1_again.uniform());
+  // Forking must not perturb the parent.
+  Rng root2(7);
+  (void)root2.fork(99);
+  EXPECT_DOUBLE_EQ(root.uniform(), root2.uniform());
+  // Distinct streams differ.
+  Rng g1 = Rng(7).fork(1);
+  Rng g2 = f2;
+  EXPECT_NE(g1.uniform(), g2.uniform());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedChoiceRespectsWeights) {
+  Rng rng(6);
+  const double weights[] = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[rng.weighted_choice(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  // ~25% / ~75% split.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 4000.0, 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 4000.0, 0.75, 0.05);
+}
+
+TEST(Rng, WeightedChoiceValidation) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.weighted_choice({}), std::invalid_argument);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted_choice(zeros), std::invalid_argument);
+}
+
+TEST(Rng, NormalClamped) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal_clamped(0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GT(rng.lognormal(std::log(100.0), 1.0), 0.0);
+  }
+}
+
+TEST(Splitmix, IsDeterministicAndMixes) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace gpumine::trace

@@ -1,0 +1,153 @@
+#include "trace/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/monitor.hpp"
+
+namespace gpumine::trace {
+namespace {
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = ::testing::TempDir() + "/gpumine_store_" + name;
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+TimeSeries make_series(std::initializer_list<double> values, double dt = 0.5) {
+  TimeSeries s(dt);
+  for (double v : values) s.push(v);
+  return s;
+}
+
+TEST(TraceStore, WriteReadRoundTrip) {
+  auto opened = TraceStore::open(fresh_root("roundtrip"));
+  ASSERT_TRUE(opened.ok()) << opened.error().to_string();
+  TraceStore store = std::move(opened).value();
+  const auto series = make_series({0.0, 10.0, 20.0, 30.0});
+  ASSERT_TRUE(store.write_series("job1", "SM Util", series).ok());
+  auto back = store.read_series("job1", "SM Util");
+  ASSERT_TRUE(back.ok()) << back.error().to_string();
+  EXPECT_EQ(back.value().samples(), series.samples());
+  EXPECT_DOUBLE_EQ(back.value().dt_s(), 0.5);
+}
+
+TEST(TraceStore, ListReflectsWrites) {
+  auto opened = TraceStore::open(fresh_root("list"));
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  ASSERT_TRUE(store.write_series("b", "power", make_series({1})).ok());
+  ASSERT_TRUE(store.write_series("a", "power", make_series({1, 2})).ok());
+  ASSERT_TRUE(store.write_series("a", "sm", make_series({3})).ok());
+  auto entries = store.list();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 3u);
+  // Sorted by (job, metric).
+  EXPECT_EQ(entries.value()[0].job_id, "a");
+  EXPECT_EQ(entries.value()[0].metric, "power");
+  EXPECT_EQ(entries.value()[0].samples, 2u);
+  EXPECT_EQ(entries.value()[2].job_id, "b");
+}
+
+TEST(TraceStore, OverwriteReplacesSeriesAndIndexEntry) {
+  auto opened = TraceStore::open(fresh_root("overwrite"));
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  ASSERT_TRUE(store.write_series("j", "m", make_series({1, 2})).ok());
+  ASSERT_TRUE(store.write_series("j", "m", make_series({9})).ok());
+  auto entries = store.list();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].samples, 1u);
+  auto back = store.read_series("j", "m");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().samples(), std::vector<double>{9});
+}
+
+TEST(TraceStore, RejectsUnsafeNames) {
+  auto opened = TraceStore::open(fresh_root("unsafe"));
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  EXPECT_FALSE(store.write_series("../etc", "m", make_series({1})).ok());
+  EXPECT_FALSE(store.write_series("j", "a/b", make_series({1})).ok());
+  EXPECT_FALSE(store.write_series("", "m", make_series({1})).ok());
+}
+
+TEST(TraceStore, MissingSeriesIsError) {
+  auto opened = TraceStore::open(fresh_root("missing"));
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  EXPECT_FALSE(store.read_series("nope", "m").ok());
+}
+
+TEST(TraceStore, ReopenSeesExistingData) {
+  const std::string root = fresh_root("reopen");
+  {
+    auto opened = TraceStore::open(root);
+    ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+    ASSERT_TRUE(store.write_series("j", "m", make_series({5, 6})).ok());
+  }
+  auto opened = TraceStore::open(root);
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  auto entries = store.list();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 1u);
+}
+
+TEST(TraceStore, ExtractFeaturesComputesAggregates) {
+  auto opened = TraceStore::open(fresh_root("features"));
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  // job1 has both metrics; job2 only one.
+  ASSERT_TRUE(
+      store.write_series("job1", "sm", make_series({0, 10, 20})).ok());
+  ASSERT_TRUE(
+      store.write_series("job1", "power", make_series({100, 200})).ok());
+  ASSERT_TRUE(store.write_series("job2", "sm", make_series({5})).ok());
+
+  auto table = store.extract_features();
+  ASSERT_TRUE(table.ok()) << table.error().to_string();
+  const prep::Table& t = table.value();
+  EXPECT_EQ(t.num_rows(), 2u);
+  for (const char* col : {"sm Mean", "sm Min", "sm Max", "sm Var",
+                          "power Mean", "power Min", "power Max",
+                          "power Var"}) {
+    EXPECT_TRUE(t.has_column(col)) << col;
+  }
+  // job1 row.
+  const auto& ids = t.categorical("job_id");
+  const std::size_t j1 = ids.label(0) == "job1" ? 0 : 1;
+  EXPECT_DOUBLE_EQ(t.numeric("sm Mean").values[j1], 10.0);
+  EXPECT_DOUBLE_EQ(t.numeric("sm Min").values[j1], 0.0);
+  EXPECT_DOUBLE_EQ(t.numeric("sm Max").values[j1], 20.0);
+  EXPECT_DOUBLE_EQ(t.numeric("power Mean").values[j1], 150.0);
+  // job2 is missing power columns.
+  EXPECT_TRUE(t.numeric("power Mean").is_missing(1 - j1));
+  EXPECT_DOUBLE_EQ(t.numeric("sm Mean").values[1 - j1], 5.0);
+}
+
+TEST(TraceStore, FeaturesMatchDirectMonitorAggregation) {
+  // The store round-trip must not change the aggregates the paper's
+  // pipeline computes directly from the sampled series.
+  auto opened = TraceStore::open(fresh_root("parity"));
+  ASSERT_TRUE(opened.ok());
+  TraceStore store = std::move(opened).value();
+  const auto profile = UtilProfile::constant(42.0, 3.0, 0.0, 100.0);
+  Rng rng(7);
+  const auto series =
+      sample_profile(profile, 120.0, MonitorConfig{1.0, 512}, rng);
+  const auto direct = series.stats();
+  ASSERT_TRUE(store.write_series("j", "sm", series).ok());
+  auto table = store.extract_features();
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table.value().numeric("sm Mean").values[0], direct.mean, 1e-4);
+  EXPECT_NEAR(table.value().numeric("sm Var").values[0], direct.variance,
+              1e-2);
+  EXPECT_DOUBLE_EQ(table.value().numeric("sm Min").values[0], direct.min);
+}
+
+}  // namespace
+}  // namespace gpumine::trace

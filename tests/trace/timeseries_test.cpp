@@ -1,0 +1,48 @@
+#include "trace/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gpumine::trace {
+namespace {
+
+TEST(TimeSeries, StatsOfKnownSeries) {
+  TimeSeries s(1.0);
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(v);
+  const SeriesStats st = s.stats();
+  EXPECT_EQ(st.count, 8u);
+  EXPECT_DOUBLE_EQ(st.mean, 5.0);
+  EXPECT_DOUBLE_EQ(st.min, 2.0);
+  EXPECT_DOUBLE_EQ(st.max, 9.0);
+  EXPECT_DOUBLE_EQ(st.variance, 4.0);  // classic example
+}
+
+TEST(TimeSeries, EmptyStatsAreZero) {
+  const SeriesStats st = TimeSeries(0.1).stats();
+  EXPECT_EQ(st.count, 0u);
+  EXPECT_DOUBLE_EQ(st.mean, 0.0);
+  EXPECT_DOUBLE_EQ(st.variance, 0.0);
+}
+
+TEST(TimeSeries, SingleSample) {
+  TimeSeries s(1.0);
+  s.push(3.5);
+  const SeriesStats st = s.stats();
+  EXPECT_DOUBLE_EQ(st.mean, 3.5);
+  EXPECT_DOUBLE_EQ(st.min, 3.5);
+  EXPECT_DOUBLE_EQ(st.max, 3.5);
+  EXPECT_DOUBLE_EQ(st.variance, 0.0);
+}
+
+TEST(TimeSeries, ConstantSeriesHasZeroVariance) {
+  TimeSeries s(1.0);
+  for (int i = 0; i < 100; ++i) s.push(42.0);
+  EXPECT_DOUBLE_EQ(s.stats().variance, 0.0);
+}
+
+TEST(TimeSeries, CadenceStored) {
+  TimeSeries s(0.1);
+  EXPECT_DOUBLE_EQ(s.dt_s(), 0.1);
+}
+
+}  // namespace
+}  // namespace gpumine::trace
