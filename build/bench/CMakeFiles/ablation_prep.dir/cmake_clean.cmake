@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prep.dir/ablation_prep.cpp.o"
+  "CMakeFiles/ablation_prep.dir/ablation_prep.cpp.o.d"
+  "ablation_prep"
+  "ablation_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_failure_prediction.dir/ext_failure_prediction.cpp.o"
+  "CMakeFiles/ext_failure_prediction.dir/ext_failure_prediction.cpp.o.d"
+  "ext_failure_prediction"
+  "ext_failure_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_failure_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

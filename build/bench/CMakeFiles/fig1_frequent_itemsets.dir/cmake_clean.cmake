@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_frequent_itemsets.dir/fig1_frequent_itemsets.cpp.o"
+  "CMakeFiles/fig1_frequent_itemsets.dir/fig1_frequent_itemsets.cpp.o.d"
+  "fig1_frequent_itemsets"
+  "fig1_frequent_itemsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_frequent_itemsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

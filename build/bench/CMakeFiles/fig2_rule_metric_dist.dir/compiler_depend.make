@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_rule_metric_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pruning_scatter.dir/fig3_pruning_scatter.cpp.o"
+  "CMakeFiles/fig3_pruning_scatter.dir/fig3_pruning_scatter.cpp.o.d"
+  "fig3_pruning_scatter"
+  "fig3_pruning_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pruning_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exit_status.dir/fig5_exit_status.cpp.o"
+  "CMakeFiles/fig5_exit_status.dir/fig5_exit_status.cpp.o.d"
+  "fig5_exit_status"
+  "fig5_exit_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exit_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

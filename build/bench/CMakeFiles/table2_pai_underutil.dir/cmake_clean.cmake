@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pai_underutil.dir/table2_pai_underutil.cpp.o"
+  "CMakeFiles/table2_pai_underutil.dir/table2_pai_underutil.cpp.o.d"
+  "table2_pai_underutil"
+  "table2_pai_underutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pai_underutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_supercloud_underutil.dir/table3_supercloud_underutil.cpp.o"
+  "CMakeFiles/table3_supercloud_underutil.dir/table3_supercloud_underutil.cpp.o.d"
+  "table3_supercloud_underutil"
+  "table3_supercloud_underutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_supercloud_underutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_philly_underutil.cpp" "bench/CMakeFiles/table4_philly_underutil.dir/table4_philly_underutil.cpp.o" "gcc" "bench/CMakeFiles/table4_philly_underutil.dir/table4_philly_underutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gpumine_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gpumine_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpumine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpumine_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/gpumine_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpumine_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_philly_underutil.dir/table4_philly_underutil.cpp.o"
+  "CMakeFiles/table4_philly_underutil.dir/table4_philly_underutil.cpp.o.d"
+  "table4_philly_underutil"
+  "table4_philly_underutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_philly_underutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

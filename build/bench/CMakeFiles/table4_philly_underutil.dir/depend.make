@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_philly_underutil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pai_failure.dir/table5_pai_failure.cpp.o"
+  "CMakeFiles/table5_pai_failure.dir/table5_pai_failure.cpp.o.d"
+  "table5_pai_failure"
+  "table5_pai_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pai_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_supercloud_failure.dir/table6_supercloud_failure.cpp.o"
+  "CMakeFiles/table6_supercloud_failure.dir/table6_supercloud_failure.cpp.o.d"
+  "table6_supercloud_failure"
+  "table6_supercloud_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_supercloud_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

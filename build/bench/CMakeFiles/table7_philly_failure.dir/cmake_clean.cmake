@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_philly_failure.dir/table7_philly_failure.cpp.o"
+  "CMakeFiles/table7_philly_failure.dir/table7_philly_failure.cpp.o.d"
+  "table7_philly_failure"
+  "table7_philly_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_philly_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_misc_rules.dir/table8_misc_rules.cpp.o"
+  "CMakeFiles/table8_misc_rules.dir/table8_misc_rules.cpp.o.d"
+  "table8_misc_rules"
+  "table8_misc_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_misc_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

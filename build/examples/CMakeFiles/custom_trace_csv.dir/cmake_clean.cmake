@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_trace_csv.dir/custom_trace_csv.cpp.o"
+  "CMakeFiles/custom_trace_csv.dir/custom_trace_csv.cpp.o.d"
+  "custom_trace_csv"
+  "custom_trace_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_trace_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/from_raw_files.dir/from_raw_files.cpp.o"
+  "CMakeFiles/from_raw_files.dir/from_raw_files.cpp.o.d"
+  "from_raw_files"
+  "from_raw_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/from_raw_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

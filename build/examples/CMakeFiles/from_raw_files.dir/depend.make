@@ -1,0 +1,2 @@
+# Empty dependencies file for from_raw_files.
+# This may be replaced when dependencies are built.

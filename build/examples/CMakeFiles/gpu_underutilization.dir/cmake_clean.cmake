@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_underutilization.dir/gpu_underutilization.cpp.o"
+  "CMakeFiles/gpu_underutilization.dir/gpu_underutilization.cpp.o.d"
+  "gpu_underutilization"
+  "gpu_underutilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_underutilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_failure_analysis.dir/job_failure_analysis.cpp.o"
+  "CMakeFiles/job_failure_analysis.dir/job_failure_analysis.cpp.o.d"
+  "job_failure_analysis"
+  "job_failure_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_failure_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_review.dir/operator_review.cpp.o"
+  "CMakeFiles/operator_review.dir/operator_review.cpp.o.d"
+  "operator_review"
+  "operator_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

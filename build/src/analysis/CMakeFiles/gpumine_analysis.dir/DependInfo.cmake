@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classifier.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/classifier.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/classifier.cpp.o.d"
+  "/root/repo/src/analysis/compare.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/compare.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/compare.cpp.o.d"
+  "/root/repo/src/analysis/drilldown.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/drilldown.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/drilldown.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/summarize.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/summarize.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/summarize.cpp.o.d"
+  "/root/repo/src/analysis/trace_configs.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/trace_configs.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/trace_configs.cpp.o.d"
+  "/root/repo/src/analysis/validate.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/validate.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/validate.cpp.o.d"
+  "/root/repo/src/analysis/workflow.cpp" "src/analysis/CMakeFiles/gpumine_analysis.dir/workflow.cpp.o" "gcc" "src/analysis/CMakeFiles/gpumine_analysis.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/gpumine_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpumine_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

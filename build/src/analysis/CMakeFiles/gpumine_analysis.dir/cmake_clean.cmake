@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine_analysis.dir/classifier.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/classifier.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/compare.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/drilldown.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/drilldown.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/export.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/report.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/stats.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/summarize.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/summarize.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/trace_configs.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/trace_configs.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/validate.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/validate.cpp.o.d"
+  "CMakeFiles/gpumine_analysis.dir/workflow.cpp.o"
+  "CMakeFiles/gpumine_analysis.dir/workflow.cpp.o.d"
+  "libgpumine_analysis.a"
+  "libgpumine_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

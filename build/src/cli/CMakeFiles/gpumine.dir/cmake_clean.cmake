@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine.dir/main.cpp.o"
+  "CMakeFiles/gpumine.dir/main.cpp.o.d"
+  "gpumine"
+  "gpumine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine_cli.dir/args.cpp.o"
+  "CMakeFiles/gpumine_cli.dir/args.cpp.o.d"
+  "CMakeFiles/gpumine_cli.dir/commands.cpp.o"
+  "CMakeFiles/gpumine_cli.dir/commands.cpp.o.d"
+  "libgpumine_cli.a"
+  "libgpumine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

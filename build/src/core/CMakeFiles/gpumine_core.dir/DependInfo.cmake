@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/apriori.cpp" "src/core/CMakeFiles/gpumine_core.dir/apriori.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/apriori.cpp.o.d"
+  "/root/repo/src/core/closed.cpp" "src/core/CMakeFiles/gpumine_core.dir/closed.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/closed.cpp.o.d"
+  "/root/repo/src/core/eclat.cpp" "src/core/CMakeFiles/gpumine_core.dir/eclat.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/eclat.cpp.o.d"
+  "/root/repo/src/core/fpgrowth.cpp" "src/core/CMakeFiles/gpumine_core.dir/fpgrowth.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/fpgrowth.cpp.o.d"
+  "/root/repo/src/core/frequent.cpp" "src/core/CMakeFiles/gpumine_core.dir/frequent.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/frequent.cpp.o.d"
+  "/root/repo/src/core/item_catalog.cpp" "src/core/CMakeFiles/gpumine_core.dir/item_catalog.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/item_catalog.cpp.o.d"
+  "/root/repo/src/core/itemset.cpp" "src/core/CMakeFiles/gpumine_core.dir/itemset.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/itemset.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/core/CMakeFiles/gpumine_core.dir/measures.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/measures.cpp.o.d"
+  "/root/repo/src/core/miner.cpp" "src/core/CMakeFiles/gpumine_core.dir/miner.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/miner.cpp.o.d"
+  "/root/repo/src/core/negative.cpp" "src/core/CMakeFiles/gpumine_core.dir/negative.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/negative.cpp.o.d"
+  "/root/repo/src/core/partitioned.cpp" "src/core/CMakeFiles/gpumine_core.dir/partitioned.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/partitioned.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/gpumine_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/gpumine_core.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/rules.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/gpumine_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/significance.cpp" "src/core/CMakeFiles/gpumine_core.dir/significance.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/significance.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/gpumine_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/topk.cpp" "src/core/CMakeFiles/gpumine_core.dir/topk.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/topk.cpp.o.d"
+  "/root/repo/src/core/transaction_db.cpp" "src/core/CMakeFiles/gpumine_core.dir/transaction_db.cpp.o" "gcc" "src/core/CMakeFiles/gpumine_core.dir/transaction_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

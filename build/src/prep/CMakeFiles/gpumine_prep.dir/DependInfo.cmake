@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prep/aggregate.cpp" "src/prep/CMakeFiles/gpumine_prep.dir/aggregate.cpp.o" "gcc" "src/prep/CMakeFiles/gpumine_prep.dir/aggregate.cpp.o.d"
+  "/root/repo/src/prep/binning.cpp" "src/prep/CMakeFiles/gpumine_prep.dir/binning.cpp.o" "gcc" "src/prep/CMakeFiles/gpumine_prep.dir/binning.cpp.o.d"
+  "/root/repo/src/prep/csv.cpp" "src/prep/CMakeFiles/gpumine_prep.dir/csv.cpp.o" "gcc" "src/prep/CMakeFiles/gpumine_prep.dir/csv.cpp.o.d"
+  "/root/repo/src/prep/encoder.cpp" "src/prep/CMakeFiles/gpumine_prep.dir/encoder.cpp.o" "gcc" "src/prep/CMakeFiles/gpumine_prep.dir/encoder.cpp.o.d"
+  "/root/repo/src/prep/join.cpp" "src/prep/CMakeFiles/gpumine_prep.dir/join.cpp.o" "gcc" "src/prep/CMakeFiles/gpumine_prep.dir/join.cpp.o.d"
+  "/root/repo/src/prep/table.cpp" "src/prep/CMakeFiles/gpumine_prep.dir/table.cpp.o" "gcc" "src/prep/CMakeFiles/gpumine_prep.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpumine_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine_prep.dir/aggregate.cpp.o"
+  "CMakeFiles/gpumine_prep.dir/aggregate.cpp.o.d"
+  "CMakeFiles/gpumine_prep.dir/binning.cpp.o"
+  "CMakeFiles/gpumine_prep.dir/binning.cpp.o.d"
+  "CMakeFiles/gpumine_prep.dir/csv.cpp.o"
+  "CMakeFiles/gpumine_prep.dir/csv.cpp.o.d"
+  "CMakeFiles/gpumine_prep.dir/encoder.cpp.o"
+  "CMakeFiles/gpumine_prep.dir/encoder.cpp.o.d"
+  "CMakeFiles/gpumine_prep.dir/join.cpp.o"
+  "CMakeFiles/gpumine_prep.dir/join.cpp.o.d"
+  "CMakeFiles/gpumine_prep.dir/table.cpp.o"
+  "CMakeFiles/gpumine_prep.dir/table.cpp.o.d"
+  "libgpumine_prep.a"
+  "libgpumine_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

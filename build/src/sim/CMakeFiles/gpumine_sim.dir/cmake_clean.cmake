@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/gpumine_sim.dir/cluster_sim.cpp.o.d"
+  "libgpumine_sim.a"
+  "libgpumine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

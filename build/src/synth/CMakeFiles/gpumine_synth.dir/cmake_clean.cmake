@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine_synth.dir/common.cpp.o"
+  "CMakeFiles/gpumine_synth.dir/common.cpp.o.d"
+  "CMakeFiles/gpumine_synth.dir/pai.cpp.o"
+  "CMakeFiles/gpumine_synth.dir/pai.cpp.o.d"
+  "CMakeFiles/gpumine_synth.dir/philly.cpp.o"
+  "CMakeFiles/gpumine_synth.dir/philly.cpp.o.d"
+  "CMakeFiles/gpumine_synth.dir/supercloud.cpp.o"
+  "CMakeFiles/gpumine_synth.dir/supercloud.cpp.o.d"
+  "libgpumine_synth.a"
+  "libgpumine_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpumine_synth.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/job.cpp" "src/trace/CMakeFiles/gpumine_trace.dir/job.cpp.o" "gcc" "src/trace/CMakeFiles/gpumine_trace.dir/job.cpp.o.d"
+  "/root/repo/src/trace/monitor.cpp" "src/trace/CMakeFiles/gpumine_trace.dir/monitor.cpp.o" "gcc" "src/trace/CMakeFiles/gpumine_trace.dir/monitor.cpp.o.d"
+  "/root/repo/src/trace/profile.cpp" "src/trace/CMakeFiles/gpumine_trace.dir/profile.cpp.o" "gcc" "src/trace/CMakeFiles/gpumine_trace.dir/profile.cpp.o.d"
+  "/root/repo/src/trace/rng.cpp" "src/trace/CMakeFiles/gpumine_trace.dir/rng.cpp.o" "gcc" "src/trace/CMakeFiles/gpumine_trace.dir/rng.cpp.o.d"
+  "/root/repo/src/trace/store.cpp" "src/trace/CMakeFiles/gpumine_trace.dir/store.cpp.o" "gcc" "src/trace/CMakeFiles/gpumine_trace.dir/store.cpp.o.d"
+  "/root/repo/src/trace/timeseries.cpp" "src/trace/CMakeFiles/gpumine_trace.dir/timeseries.cpp.o" "gcc" "src/trace/CMakeFiles/gpumine_trace.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prep/CMakeFiles/gpumine_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpumine_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpumine_trace.dir/job.cpp.o"
+  "CMakeFiles/gpumine_trace.dir/job.cpp.o.d"
+  "CMakeFiles/gpumine_trace.dir/monitor.cpp.o"
+  "CMakeFiles/gpumine_trace.dir/monitor.cpp.o.d"
+  "CMakeFiles/gpumine_trace.dir/profile.cpp.o"
+  "CMakeFiles/gpumine_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/gpumine_trace.dir/rng.cpp.o"
+  "CMakeFiles/gpumine_trace.dir/rng.cpp.o.d"
+  "CMakeFiles/gpumine_trace.dir/store.cpp.o"
+  "CMakeFiles/gpumine_trace.dir/store.cpp.o.d"
+  "CMakeFiles/gpumine_trace.dir/timeseries.cpp.o"
+  "CMakeFiles/gpumine_trace.dir/timeseries.cpp.o.d"
+  "libgpumine_trace.a"
+  "libgpumine_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpumine_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

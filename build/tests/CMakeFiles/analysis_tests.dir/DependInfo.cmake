@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/classifier_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/classifier_test.cpp.o.d"
+  "/root/repo/tests/analysis/compare_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/compare_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/compare_test.cpp.o.d"
+  "/root/repo/tests/analysis/drilldown_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/drilldown_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/drilldown_test.cpp.o.d"
+  "/root/repo/tests/analysis/export_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/export_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/export_test.cpp.o.d"
+  "/root/repo/tests/analysis/integration_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/integration_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/integration_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/analysis/stats_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o.d"
+  "/root/repo/tests/analysis/summarize_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/summarize_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/summarize_test.cpp.o.d"
+  "/root/repo/tests/analysis/validate_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/validate_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/validate_test.cpp.o.d"
+  "/root/repo/tests/analysis/workflow_equivalence_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/workflow_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/workflow_equivalence_test.cpp.o.d"
+  "/root/repo/tests/analysis/workflow_test.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gpumine_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gpumine_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpumine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpumine_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/gpumine_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpumine_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/classifier_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/classifier_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/compare_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/compare_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/drilldown_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/drilldown_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/export_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/export_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/integration_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/integration_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/summarize_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/summarize_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/validate_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/validate_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/workflow_equivalence_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/workflow_equivalence_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/workflow_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/workflow_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

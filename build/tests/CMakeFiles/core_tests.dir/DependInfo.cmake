@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/apriori_test.cpp" "tests/CMakeFiles/core_tests.dir/core/apriori_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/apriori_test.cpp.o.d"
+  "/root/repo/tests/core/closed_test.cpp" "tests/CMakeFiles/core_tests.dir/core/closed_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/closed_test.cpp.o.d"
+  "/root/repo/tests/core/eclat_test.cpp" "tests/CMakeFiles/core_tests.dir/core/eclat_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/eclat_test.cpp.o.d"
+  "/root/repo/tests/core/fpgrowth_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fpgrowth_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fpgrowth_test.cpp.o.d"
+  "/root/repo/tests/core/item_catalog_test.cpp" "tests/CMakeFiles/core_tests.dir/core/item_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/item_catalog_test.cpp.o.d"
+  "/root/repo/tests/core/itemset_test.cpp" "tests/CMakeFiles/core_tests.dir/core/itemset_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/itemset_test.cpp.o.d"
+  "/root/repo/tests/core/measures_test.cpp" "tests/CMakeFiles/core_tests.dir/core/measures_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/measures_test.cpp.o.d"
+  "/root/repo/tests/core/miner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/miner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/miner_test.cpp.o.d"
+  "/root/repo/tests/core/mining_property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mining_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mining_property_test.cpp.o.d"
+  "/root/repo/tests/core/negative_test.cpp" "tests/CMakeFiles/core_tests.dir/core/negative_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/negative_test.cpp.o.d"
+  "/root/repo/tests/core/partitioned_test.cpp" "tests/CMakeFiles/core_tests.dir/core/partitioned_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/partitioned_test.cpp.o.d"
+  "/root/repo/tests/core/pruning_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pruning_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pruning_test.cpp.o.d"
+  "/root/repo/tests/core/rules_test.cpp" "tests/CMakeFiles/core_tests.dir/core/rules_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rules_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/core_tests.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/core/significance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/significance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/significance_test.cpp.o.d"
+  "/root/repo/tests/core/streaming_test.cpp" "tests/CMakeFiles/core_tests.dir/core/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/streaming_test.cpp.o.d"
+  "/root/repo/tests/core/topk_test.cpp" "tests/CMakeFiles/core_tests.dir/core/topk_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/topk_test.cpp.o.d"
+  "/root/repo/tests/core/transaction_db_test.cpp" "tests/CMakeFiles/core_tests.dir/core/transaction_db_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/transaction_db_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gpumine_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/gpumine_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpumine_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gpumine_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/prep/CMakeFiles/gpumine_prep.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpumine_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

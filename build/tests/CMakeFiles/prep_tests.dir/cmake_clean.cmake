@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prep_tests.dir/prep/aggregate_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/aggregate_test.cpp.o.d"
+  "CMakeFiles/prep_tests.dir/prep/binning_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/binning_test.cpp.o.d"
+  "CMakeFiles/prep_tests.dir/prep/csv_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/csv_test.cpp.o.d"
+  "CMakeFiles/prep_tests.dir/prep/encoder_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/encoder_test.cpp.o.d"
+  "CMakeFiles/prep_tests.dir/prep/join_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/join_test.cpp.o.d"
+  "CMakeFiles/prep_tests.dir/prep/prep_property_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/prep_property_test.cpp.o.d"
+  "CMakeFiles/prep_tests.dir/prep/table_test.cpp.o"
+  "CMakeFiles/prep_tests.dir/prep/table_test.cpp.o.d"
+  "prep_tests"
+  "prep_tests.pdb"
+  "prep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
