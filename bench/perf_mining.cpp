@@ -8,6 +8,11 @@
 // these workloads.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
 #include "core/apriori.hpp"
 #include "core/eclat.hpp"
 #include "core/fpgrowth.hpp"
@@ -61,6 +66,88 @@ core::MiningParams params() {
   return p;
 }
 
+// Skewed trace: a dense correlated block of items present in most
+// transactions, a sparse tail in the rest. The block items' conditional
+// FP-trees are large and nested, so one top-level projection dominates —
+// the load-imbalance shape that defeats one-task-per-top-level-item
+// scheduling and that recursive task spawning is built to fix.
+core::TransactionDb make_skewed_db(std::size_t num_txns, std::uint64_t seed) {
+  trace::Rng rng(seed);
+  constexpr core::ItemId kDense = 18;   // heavy correlated block
+  constexpr core::ItemId kSparse = 24;  // light tail items
+  core::TransactionDb db;
+  for (std::size_t t = 0; t < num_txns; ++t) {
+    core::Itemset txn;
+    if (rng.bernoulli(0.9)) {
+      txn.push_back(0);  // the dominant item anchors the block
+      for (core::ItemId i = 1; i < kDense; ++i) {
+        if (rng.bernoulli(0.55)) txn.push_back(i);
+      }
+    }
+    for (core::ItemId i = 0; i < kSparse; ++i) {
+      if (rng.bernoulli(0.03)) txn.push_back(kDense + i);
+    }
+    db.add(std::move(txn));
+  }
+  return db;
+}
+
+// Wall-clocks one configuration (best of three runs).
+double time_ms(const core::TransactionDb& db, const core::MiningParams& p,
+               core::MiningResult* last = nullptr) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto result = core::mine_fpgrowth(db, p);
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(end - begin)
+                        .count());
+    if (last) *last = std::move(result);
+  }
+  return best;
+}
+
+// Compares the seed's scheduling (tasks only at the top level, emulated
+// with an unreachable spawn cutoff) against recursive work-stealing
+// spawning, on the skewed trace. Emits one machine-readable JSON line so
+// the bench trajectory can track the speedup and steal counts over PRs.
+void run_scheduler_experiment() {
+  const auto db = make_skewed_db(20000, 7);
+  // Floor at 4 workers: on a 1-core box the OS still interleaves them, so
+  // stealing (and its metrics) are exercised even without real speedup.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t threads = std::max<std::size_t>(4, hw);
+
+  core::MiningParams serial = params();
+  serial.min_support = 0.02;
+  serial.num_threads = 1;
+
+  core::MiningParams toplevel = serial;  // seed-style: no recursive spawns
+  toplevel.num_threads = threads;
+  toplevel.spawn_cutoff_nodes = static_cast<std::size_t>(-1);
+
+  core::MiningParams recursive = serial;
+  recursive.num_threads = threads;
+  recursive.spawn_cutoff_nodes = 64;
+
+  const double serial_ms = time_ms(db, serial);
+  const double toplevel_ms = time_ms(db, toplevel);
+  core::MiningResult mined;
+  const double recursive_ms = time_ms(db, recursive, &mined);
+
+  std::printf(
+      "{\"experiment\":\"skewed_fpgrowth_scheduler\",\"transactions\":%zu,"
+      "\"hardware_threads\":%u,\"scheduler_threads\":%zu,"
+      "\"itemsets\":%zu,\"serial_ms\":%.3f,\"toplevel_only_ms\":%.3f,"
+      "\"recursive_ms\":%.3f,\"speedup_vs_serial\":%.3f,"
+      "\"speedup_vs_toplevel\":%.3f,\"metrics\":%s}\n",
+      db.size(), hw, threads, mined.itemsets.size(), serial_ms, toplevel_ms,
+      recursive_ms, serial_ms / recursive_ms, toplevel_ms / recursive_ms,
+      mined.metrics.to_json().c_str());
+  std::fflush(stdout);
+}
+
 void BM_FpGrowth(benchmark::State& state) {
   const auto db = make_db(static_cast<std::size_t>(state.range(0)), 36,
                           static_cast<double>(state.range(1)) / 100.0, 7);
@@ -77,6 +164,25 @@ BENCHMARK(BM_FpGrowth)
     ->Args({2000, 45})
     ->Args({10000, 25})
     ->Args({10000, 45})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FpGrowthParallel(benchmark::State& state) {
+  const auto db = make_skewed_db(10000, 7);
+  core::MiningParams p = params();
+  p.min_support = 0.02;
+  p.num_threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t stolen = 0;
+  for (auto _ : state) {
+    const auto result = core::mine_fpgrowth(db, p);
+    stolen = result.metrics.tasks_stolen;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["tasks_stolen"] = static_cast<double>(stolen);
+}
+BENCHMARK(BM_FpGrowthParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Apriori(benchmark::State& state) {
@@ -186,4 +292,13 @@ BENCHMARK(BM_KeywordPruning)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the scheduler experiment prints its JSON line first, then
+// the regular google-benchmark suite runs.
+int main(int argc, char** argv) {
+  run_scheduler_experiment();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

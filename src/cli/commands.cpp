@@ -68,6 +68,8 @@ Result<LoadedTrace> load_trace(const Args& args) {
   if (!min_support.ok()) return min_support.error();
   const auto max_length = args.get_uint("max-length", 5);
   if (!max_length.ok()) return max_length.error();
+  const auto threads = args.get_uint("threads", 1);
+  if (!threads.ok()) return threads.error();
   const auto min_lift = args.get_double("min-lift", 1.5);
   if (!min_lift.ok()) return min_lift.error();
   const auto c_lift = args.get_double("c-lift", 1.5);
@@ -76,6 +78,7 @@ Result<LoadedTrace> load_trace(const Args& args) {
   if (!c_supp.ok()) return c_supp.error();
   config.mining.min_support = min_support.value();
   config.mining.max_length = static_cast<std::size_t>(max_length.value());
+  config.mining.num_threads = static_cast<std::size_t>(threads.value());
   config.rules.min_lift = min_lift.value();
   config.pruning.c_lift = c_lift.value();
   config.pruning.c_supp = c_supp.value();
@@ -121,11 +124,13 @@ int run_help(std::ostream& out) {
          "[--seed S] --out trace.csv\n"
          "  gpumine itemsets --csv trace.csv [--min-support F] "
          "[--max-length K] [--algorithm A] [--top N] [--save FILE] [--family all|closed|maximal]\n"
+         "                   [--threads N] [--stats]\n"
          "  gpumine mine (--csv trace.csv | --load FILE) --keyword ITEM "
          "[--min-support F] [--min-lift F]\n"
          "               [--c-lift F] [--c-supp F] [--bare col,..] "
          "[--group col,..] [--drop col,..]\n"
-         "               [--format table|csv|json|md] [--max-rows N]\n"
+         "               [--format table|csv|json|md] [--max-rows N] "
+         "[--threads N] [--stats]\n"
          "  gpumine predict --csv trace.csv --target ITEM [--holdout F] "
          "[--min-confidence F] [--seed N]\n"
          "  gpumine report --csv trace.csv [--principal COL] [--runtime "
@@ -203,6 +208,7 @@ int run_itemsets(const std::vector<std::string>& args_raw, std::ostream& out,
   const auto top = args.get_uint("top", 25);
   const std::string save_path = args.get_or("save", "");
   const std::string family = args.get_or("family", "all");
+  const bool stats = args.has("stats");
   auto loaded = load_trace(args);
   if (!top.ok() || !loaded.ok()) {
     err << (!top.ok() ? top.error() : loaded.error()).to_string() << "\n";
@@ -216,6 +222,7 @@ int run_itemsets(const std::vector<std::string>& args_raw, std::ostream& out,
 
   LoadedTrace trace = std::move(loaded).value();
   auto mined = analysis::mine(std::move(trace.table), trace.config);
+  if (stats) out << mined.mined.metrics.summary();
   if (family == "closed") {
     mined.mined.itemsets = core::closed_itemsets(mined.mined);
   } else if (family == "maximal") {
@@ -258,6 +265,7 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
   const Args& args = parsed.value();
   const std::string keyword = args.get_or("keyword", "");
   const std::string format = args.get_or("format", "table");
+  const bool stats = args.has("stats");
   const auto max_rows = args.get_uint("max-rows", 10);
   if (!max_rows.ok()) {
     err << max_rows.error().to_string() << "\n";
@@ -298,6 +306,10 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
     result = std::move(archive.result);
     catalog = std::move(archive.catalog);
     if (!reject_unused(args, err)) return 2;
+    if (stats) {
+      out << "no mining stats: --load replays saved itemsets without "
+             "mining\n";
+    }
   } else {
     auto loaded = load_trace(args);
     if (!loaded.ok()) {
@@ -310,6 +322,7 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
     auto mined = analysis::mine(std::move(trace.table), config);
     result = std::move(mined.mined);
     catalog = std::move(mined.prepared.catalog);
+    if (stats) out << result.metrics.summary();
   }
 
   const auto keyword_id = catalog.find(keyword);

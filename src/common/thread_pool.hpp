@@ -1,20 +1,53 @@
-// Fixed-size work-stealing-free thread pool used by the parallel FP-Growth
-// miner and the bench harness. Deliberately simple: a single locked deque
-// is plenty for the coarse-grained tasks gpumine submits (one task per
-// top-level conditional FP-tree), and simplicity keeps shutdown airtight.
+// Work-stealing thread pool used by the parallel miners and the bench
+// harness.
+//
+// Each worker owns a Chase–Lev-style deque (owner pushes and pops at the
+// bottom, LIFO; thieves take from the top, FIFO), guarded by a per-deque
+// mutex — contention is a single uncontended lock in the common case, and
+// the locking keeps the scheduler trivially ThreadSanitizer-clean. Idle
+// workers steal from a randomized victim order, so one heavy recursive
+// mining task no longer serializes the pool the way the old single
+// locked queue did.
+//
+// TaskGroup is the structured-parallelism primitive: spawn subtasks with
+// run(), then wait(). A thread blocked in wait() does not sleep — it
+// *helps*, draining its own deque and stealing from others until the
+// group's count reaches zero. That makes nested parallelism (a task that
+// spawns and waits on subtasks, arbitrarily deep) deadlock-free even on a
+// one-worker pool. Exceptions thrown by subtasks are captured; wait()
+// rethrows the first one only after every task in the group has finished,
+// so no captured reference can dangle.
+//
+// The pool keeps lightweight counters (tasks spawned/stolen, per-worker
+// busy time, peak deque length) exposed via metrics(); the miners fold
+// them into core::MiningMetrics for `gpumine mine --stats`.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace gpumine {
+
+/// Snapshot of the pool's scheduling counters since construction.
+struct SchedulerMetrics {
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t tasks_stolen = 0;   // executed by a thread that did not enqueue them
+  std::size_t peak_queue_length = 0;  // max length of any single worker deque
+  std::vector<double> worker_busy_seconds;  // task execution time per worker
+};
 
 class ThreadPool {
  public:
@@ -25,9 +58,14 @@ class ThreadPool {
       num_threads = std::thread::hardware_concurrency();
       if (num_threads == 0) num_threads = 1;
     }
+    queues_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      queues_.push_back(std::make_unique<WorkerQueue>());
+    }
+    busy_ns_ = std::vector<std::atomic<std::uint64_t>>(num_threads);
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 
@@ -35,66 +73,284 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   ~ThreadPool() {
+    stopping_.store(true, std::memory_order_release);
     {
-      std::lock_guard lock(mutex_);
-      stopping_ = true;
+      std::lock_guard lock(sleep_mutex_);
     }
-    cv_.notify_all();
+    sleep_cv_.notify_all();
     for (auto& w : workers_) w.join();
   }
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Submits a nullary callable; returns a future for its result.
+  /// Structured fork/join over the pool. run() spawns a subtask; wait()
+  /// drains the pool (executing any available task, this group's or not)
+  /// until every task of *this* group has finished, then rethrows the
+  /// first captured exception, if any. Safe to use from inside a worker.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Blocks (helping) until outstanding tasks finish; never throws.
+    ~TaskGroup() { help_until_done(); }
+
+    template <typename F>
+    void run(F&& fn) {
+      // Shared-ptr wrapper keeps move-only captures (task-owned FP-trees)
+      // inside the copyable std::function the deques store.
+      auto owned = std::make_shared<std::decay_t<F>>(std::forward<F>(fn));
+      pending_.fetch_add(1, std::memory_order_acq_rel);
+      pool_.push_task([this, owned] {
+        try {
+          (*owned)();
+        } catch (...) {
+          note_exception(std::current_exception());
+        }
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    }
+
+    /// Records an exception to be rethrown by wait(); first one wins.
+    /// Used by parallel_for when the calling thread's own slice throws.
+    void note_exception(std::exception_ptr error) {
+      std::lock_guard lock(error_mutex_);
+      if (!error_) error_ = std::move(error);
+    }
+
+    void wait() {
+      help_until_done();
+      std::exception_ptr error;
+      {
+        std::lock_guard lock(error_mutex_);
+        std::swap(error, error_);
+      }
+      if (error) std::rethrow_exception(error);
+    }
+
+   private:
+    void help_until_done() {
+      int idle_spins = 0;
+      while (pending_.load(std::memory_order_acquire) > 0) {
+        if (pool_.run_one_task()) {
+          idle_spins = 0;
+        } else if (++idle_spins < 64) {
+          std::this_thread::yield();
+        } else {
+          // Group tasks are in flight on other workers; nothing to help
+          // with right now. Back off instead of burning the core.
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+      }
+    }
+
+    ThreadPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex error_mutex_;
+    std::exception_ptr error_;
+  };
+
+  /// Submits a detached nullary callable; returns a future for its result.
+  /// Note: the future does NOT block in its destructor — join explicitly
+  /// (get/wait) or use a TaskGroup for structured lifetimes.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      queue_.emplace_back([task]() mutable { (*task)(); });
-    }
-    cv_.notify_one();
+    push_task([task]() mutable { (*task)(); });
     return fut;
   }
 
   /// Runs `fn(i)` for i in [0, n) across the pool and blocks until done.
-  /// The calling thread participates, so a 1-thread pool still overlaps
-  /// nothing but also deadlocks nothing.
+  /// The calling thread participates (helping and stealing), so nesting
+  /// parallel_for inside a worker cannot deadlock. Exception-safe: if any
+  /// iteration throws — including fn(0) on the calling thread — every
+  /// outstanding iteration still finishes before the first exception
+  /// propagates, so references captured by the tasks never dangle.
   template <typename F>
   void parallel_for(std::size_t n, F&& fn) {
     if (n == 0) return;
-    std::vector<std::future<void>> futures;
-    futures.reserve(n > 0 ? n - 1 : 0);
+    TaskGroup group(*this);
     for (std::size_t i = 1; i < n; ++i) {
-      futures.push_back(submit([&fn, i] { fn(i); }));
+      group.run([&fn, i] { fn(i); });
     }
-    fn(0);
-    for (auto& f : futures) f.get();
+    try {
+      fn(0);
+    } catch (...) {
+      group.note_exception(std::current_exception());
+    }
+    group.wait();
+  }
+
+  [[nodiscard]] SchedulerMetrics metrics() const {
+    SchedulerMetrics out;
+    out.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+    out.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+    out.peak_queue_length = peak_queue_.load(std::memory_order_relaxed);
+    out.worker_busy_seconds.reserve(busy_ns_.size());
+    for (const auto& ns : busy_ns_) {
+      out.worker_busy_seconds.push_back(
+          static_cast<double>(ns.load(std::memory_order_relaxed)) * 1e-9);
+    }
+    return out;
   }
 
  private:
-  void worker_loop() {
-    for (;;) {
-      std::function<void()> job;
-      {
-        std::unique_lock lock(mutex_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-        if (stopping_ && queue_.empty()) return;
-        job = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      job();
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Which pool (if any) the current thread is a worker of, and its index.
+  struct WorkerSlot {
+    ThreadPool* pool = nullptr;
+    std::size_t index = 0;
+  };
+  static WorkerSlot& tls_slot() {
+    static thread_local WorkerSlot slot;
+    return slot;
+  }
+
+  static constexpr std::size_t kNotWorker = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t current_worker_index() const {
+    const WorkerSlot& slot = tls_slot();
+    return slot.pool == this ? slot.index : kNotWorker;
+  }
+
+  void push_task(std::function<void()> task) {
+    tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t target = current_worker_index();
+    if (target == kNotWorker) {
+      // External submitter: scatter round-robin so work spreads even
+      // before any stealing happens.
+      target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+               queues_.size();
+    }
+    WorkerQueue& q = *queues_[target];
+    std::size_t depth = 0;
+    {
+      std::lock_guard lock(q.mutex);
+      q.tasks.push_back(std::move(task));
+      depth = q.tasks.size();
+    }
+    update_peak(depth);
+    num_tasks_.fetch_add(1, std::memory_order_release);
+    {
+      std::lock_guard lock(sleep_mutex_);
+    }
+    sleep_cv_.notify_one();
+  }
+
+  void update_peak(std::size_t depth) {
+    std::size_t seen = peak_queue_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !peak_queue_.compare_exchange_weak(seen, depth,
+                                              std::memory_order_relaxed)) {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  // Takes one task: own deque bottom first (LIFO keeps the working set
+  // hot), then steal from the top of victims in randomized order.
+  [[nodiscard]] std::function<void()> try_acquire() {
+    const std::size_t self = current_worker_index();
+    if (self != kNotWorker) {
+      WorkerQueue& q = *queues_[self];
+      std::lock_guard lock(q.mutex);
+      if (!q.tasks.empty()) {
+        auto task = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        num_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+        return task;
+      }
+    }
+    const std::size_t n = queues_.size();
+    const std::size_t start = steal_seed() % n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (start + k) % n;
+      if (victim == self) continue;
+      WorkerQueue& q = *queues_[victim];
+      std::lock_guard lock(q.mutex);
+      if (!q.tasks.empty()) {
+        auto task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        num_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+        tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
+    }
+    return {};
+  }
+
+  // Per-thread xorshift for randomized victim selection; no locking, no
+  // global RNG state shared between threads.
+  static std::uint32_t steal_seed() {
+    static thread_local std::uint32_t state = static_cast<std::uint32_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1u);
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  }
+
+  // Executes one available task on the calling thread (worker or helper).
+  // Returns false if no task was available anywhere.
+  bool run_one_task() {
+    auto task = try_acquire();
+    if (!task) return false;
+    // Only the outermost task on a worker is timed: tasks executed while
+    // helping inside a nested wait() are already inside the outer span.
+    static thread_local int timing_depth = 0;
+    const std::size_t self = current_worker_index();
+    if (self != kNotWorker && timing_depth == 0) {
+      ++timing_depth;
+      const auto begin = std::chrono::steady_clock::now();
+      task();
+      const auto end = std::chrono::steady_clock::now();
+      --timing_depth;
+      busy_ns_[self].fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+                  .count()),
+          std::memory_order_relaxed);
+    } else {
+      task();
+    }
+    return true;
+  }
+
+  void worker_loop(std::size_t index) {
+    WorkerSlot& slot = tls_slot();
+    slot = {this, index};
+    for (;;) {
+      if (run_one_task()) continue;
+      if (stopping_.load(std::memory_order_acquire) &&
+          num_tasks_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      std::unique_lock lock(sleep_mutex_);
+      sleep_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               num_tasks_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    slot = {};
+  }
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  std::vector<std::atomic<std::uint64_t>> busy_ns_;
+  std::atomic<std::size_t> num_tasks_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+
+  std::atomic<std::uint64_t> tasks_spawned_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+  std::atomic<std::size_t> peak_queue_{0};
 };
 
 }  // namespace gpumine

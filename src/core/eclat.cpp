@@ -1,7 +1,12 @@
 #include "core/eclat.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_pool.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -21,26 +26,62 @@ TidList intersect(const TidList& a, const TidList& b) {
   return out;
 }
 
+// Shared state of one (possibly parallel) Eclat run; mirrors FP-Growth's
+// MineShared. Tasks collect locally and flush under the mutex; the final
+// sort_canonical makes merge order irrelevant.
+struct EclatShared {
+  std::uint64_t min_count = 0;
+  std::size_t max_length = 0;
+  std::size_t spawn_cutoff_tids = 0;  // total tids in a class to justify a task
+  ThreadPool::TaskGroup* group = nullptr;  // null => mine serially
+
+  std::mutex out_mutex;
+  std::vector<FrequentItemset>* out = nullptr;
+
+  void flush(std::vector<FrequentItemset>& local) {
+    std::lock_guard lock(out_mutex);
+    out->insert(out->end(), std::make_move_iterator(local.begin()),
+                std::make_move_iterator(local.end()));
+  }
+};
+
+std::size_t total_tids(const std::vector<Node>& klass) {
+  std::size_t total = 0;
+  for (const Node& n : klass) total += n.tids.size();
+  return total;
+}
+
 // Depth-first extension of `prefix` by each class member, recursing into
-// the equivalence class of survivors.
-void mine_class(const Itemset& prefix, const std::vector<Node>& klass,
-                std::uint64_t min_count, std::size_t max_length,
+// the equivalence class of survivors. Classes with enough tid-list mass
+// become work-stealing tasks (the task owns its class), so a dominant
+// item's equivalence class no longer bounds wall-clock.
+void mine_class(EclatShared& shared, const Itemset& prefix,
+                const std::vector<Node>& klass,
                 std::vector<FrequentItemset>& out) {
   for (std::size_t i = 0; i < klass.size(); ++i) {
     Itemset extended = prefix;
     extended.push_back(klass[i].item);
     out.push_back({extended, klass[i].tids.size()});
-    if (extended.size() >= max_length) continue;
+    if (extended.size() >= shared.max_length) continue;
 
     std::vector<Node> next_class;
     for (std::size_t j = i + 1; j < klass.size(); ++j) {
       TidList tids = intersect(klass[i].tids, klass[j].tids);
-      if (tids.size() >= min_count) {
+      if (tids.size() >= shared.min_count) {
         next_class.push_back({klass[j].item, std::move(tids)});
       }
     }
-    if (!next_class.empty()) {
-      mine_class(extended, next_class, min_count, max_length, out);
+    if (next_class.empty()) continue;
+    if (shared.group != nullptr &&
+        total_tids(next_class) >= shared.spawn_cutoff_tids) {
+      shared.group->run([&shared, extended = std::move(extended),
+                         next_class = std::move(next_class)]() mutable {
+        std::vector<FrequentItemset> local;
+        mine_class(shared, extended, next_class, local);
+        shared.flush(local);
+      });
+    } else {
+      mine_class(shared, extended, next_class, out);
     }
   }
 }
@@ -53,6 +94,7 @@ MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
   result.db_size = db.size();
   if (db.empty()) return result;
 
+  const auto wall_begin = std::chrono::steady_clock::now();
   const std::uint64_t min_count = params.min_count(db.size());
 
   // Build the vertical layout: one sorted tid-list per item. Transactions
@@ -71,7 +113,37 @@ MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
     }
   }
 
-  mine_class({}, root, min_count, params.max_length, result.itemsets);
+  EclatShared shared;
+  shared.min_count = min_count;
+  shared.max_length = params.max_length;
+  // The node-count cutoff tuned for FP-trees maps onto tid-list mass here;
+  // both measure "bytes of projected database a task would own".
+  shared.spawn_cutoff_tids = params.spawn_cutoff_nodes * 16;
+  shared.out = &result.itemsets;
+
+  if (params.num_threads == 1 || root.size() < 2) {
+    mine_class(shared, {}, root, result.itemsets);
+    result.metrics.num_workers = 1;
+  } else {
+    ThreadPool pool(params.num_threads);
+    ThreadPool::TaskGroup group(pool);
+    shared.group = &group;
+    std::vector<FrequentItemset> local;  // calling thread's buffer
+    mine_class(shared, {}, root, local);
+    group.wait();
+    shared.flush(local);
+    result.metrics.num_workers = pool.size();
+    const SchedulerMetrics sched = pool.metrics();
+    result.metrics.tasks_spawned = sched.tasks_spawned;
+    result.metrics.tasks_stolen = sched.tasks_stolen;
+    result.metrics.peak_queue_length = sched.peak_queue_length;
+    result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
+  }
+  result.metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
+
   sort_canonical(result.itemsets);
   return result;
 }

@@ -1,7 +1,11 @@
 #include "core/fpgrowth.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/ensure.hpp"
@@ -60,6 +64,8 @@ class FpTree {
   }
 
   [[nodiscard]] std::size_t num_ranks() const { return item_of_rank_.size(); }
+  /// Tree size including the root — the scheduler's spawn heuristic.
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
   [[nodiscard]] ItemId item(std::uint32_t rank) const { return item_of_rank_[rank]; }
   [[nodiscard]] std::uint64_t rank_count(std::uint32_t rank) const {
     return count_of_rank_[rank];
@@ -181,10 +187,68 @@ void enumerate_single_path(
   recurse(recurse, 0);
 }
 
-// Recursive FP-Growth over `tree`, extending `suffix`.
-void mine_tree(const FpTree& tree, const Itemset& suffix,
-               std::uint64_t min_count, std::size_t max_length,
-               std::vector<FrequentItemset>& out) {
+// Shared state of one parallel (or serial) FP-Growth run. Tasks append
+// their locally collected itemsets into `out` under `out_mutex`; the
+// final sort_canonical makes the merge order irrelevant, so thread-count
+// and steal order never change the result.
+struct MineShared {
+  static constexpr std::size_t kDepthSlots = 16;
+
+  std::uint64_t min_count = 0;
+  std::size_t max_length = 0;
+  std::size_t spawn_cutoff_nodes = 0;
+  ThreadPool::TaskGroup* group = nullptr;  // null => mine serially
+
+  std::mutex out_mutex;
+  std::vector<FrequentItemset>* out = nullptr;
+
+  // Conditional trees mined per recursion depth; last slot = "deeper".
+  std::array<std::atomic<std::uint64_t>, kDepthSlots> depth_histogram{};
+
+  void record_depth(std::size_t depth) {
+    const std::size_t slot = std::min(depth, kDepthSlots - 1);
+    depth_histogram[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void flush(std::vector<FrequentItemset>& local) {
+    std::lock_guard lock(out_mutex);
+    out->insert(out->end(), std::make_move_iterator(local.begin()),
+                std::make_move_iterator(local.end()));
+  }
+};
+
+void mine_tree(MineShared& shared, const FpTree& tree, const Itemset& suffix,
+               std::size_t depth, std::vector<FrequentItemset>& out);
+
+// Dispatches one conditional tree: the single-path shortcut inline, a
+// scheduler task for big trees (the task owns the tree and flushes its
+// own buffer), and inline recursion for the rest. `depth` is the depth
+// of `cond` itself.
+void mine_conditional(MineShared& shared, FpTree cond, const Itemset& suffix,
+                      std::size_t depth, std::vector<FrequentItemset>& out) {
+  shared.record_depth(depth);
+  if (cond.single_path()) {
+    enumerate_single_path(cond.path(), suffix,
+                          shared.max_length - suffix.size(), out);
+    return;
+  }
+  if (shared.group != nullptr && cond.num_nodes() >= shared.spawn_cutoff_nodes) {
+    shared.group->run(
+        [&shared, cond = std::move(cond), suffix, depth]() mutable {
+          std::vector<FrequentItemset> local;
+          mine_tree(shared, cond, suffix, depth, local);
+          shared.flush(local);
+        });
+    return;
+  }
+  mine_tree(shared, cond, suffix, depth, out);
+}
+
+// Recursive FP-Growth over `tree`, extending `suffix`. Conditional trees
+// above the spawn cutoff become independent work-stealing tasks, so one
+// heavy projection no longer serializes the run.
+void mine_tree(MineShared& shared, const FpTree& tree, const Itemset& suffix,
+               std::size_t depth, std::vector<FrequentItemset>& out) {
   // Least-frequent rank first is the classical order; any order yields
   // the same set, but this keeps conditional trees small.
   for (std::uint32_t r = static_cast<std::uint32_t>(tree.num_ranks()); r-- > 0;) {
@@ -192,16 +256,11 @@ void mine_tree(const FpTree& tree, const Itemset& suffix,
     extended.push_back(tree.item(r));
     canonicalize(extended);
     out.push_back({extended, tree.rank_count(r)});
-    if (extended.size() >= max_length) continue;
+    if (extended.size() >= shared.max_length) continue;
 
-    FpTree cond = conditional_tree(tree, r, min_count);
+    FpTree cond = conditional_tree(tree, r, shared.min_count);
     if (cond.num_ranks() == 0) continue;
-    if (cond.single_path()) {
-      enumerate_single_path(cond.path(), extended,
-                            max_length - extended.size(), out);
-    } else {
-      mine_tree(cond, extended, min_count, max_length, out);
-    }
+    mine_conditional(shared, std::move(cond), extended, depth + 1, out);
   }
 }
 
@@ -246,38 +305,63 @@ MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) 
     tree.insert(ranks, 1);
   }
 
-  // Top level: 1-itemsets, then one independent mining task per rank.
+  // Top level: 1-itemsets, then the recursive mine over each rank's
+  // conditional tree. With threads, big projections (top-level or nested)
+  // become work-stealing tasks; small ones are mined inline by whichever
+  // thread produced them.
+  const auto wall_begin = std::chrono::steady_clock::now();
   const std::size_t n = tree.num_ranks();
   for (std::uint32_t r = 0; r < n; ++r) {
     result.itemsets.push_back({Itemset{tree.item(r)}, tree.rank_count(r)});
   }
 
-  auto mine_rank = [&](std::uint32_t r, std::vector<FrequentItemset>& out) {
+  MineShared shared;
+  shared.min_count = min_count;
+  shared.max_length = params.max_length;
+  shared.spawn_cutoff_nodes = params.spawn_cutoff_nodes;
+  shared.out = &result.itemsets;
+
+  auto mine_all_ranks = [&](std::vector<FrequentItemset>& out) {
     if (params.max_length < 2) return;
-    const Itemset suffix{tree.item(r)};
-    FpTree cond = conditional_tree(tree, r, min_count);
-    if (cond.num_ranks() == 0) return;
-    if (cond.single_path()) {
-      enumerate_single_path(cond.path(), suffix, params.max_length - 1, out);
-    } else {
-      mine_tree(cond, suffix, min_count, params.max_length, out);
+    for (std::uint32_t r = static_cast<std::uint32_t>(n); r-- > 0;) {
+      const Itemset suffix{tree.item(r)};
+      FpTree cond = conditional_tree(tree, r, min_count);
+      if (cond.num_ranks() == 0) continue;
+      mine_conditional(shared, std::move(cond), suffix, 0, out);
     }
   };
 
   if (params.num_threads == 1 || n < 2) {
-    for (std::uint32_t r = 0; r < n; ++r) mine_rank(r, result.itemsets);
+    mine_all_ranks(result.itemsets);
+    result.metrics.num_workers = 1;
   } else {
     ThreadPool pool(params.num_threads);
-    std::vector<std::vector<FrequentItemset>> partial(n);
-    pool.parallel_for(n, [&](std::size_t r) {
-      mine_rank(static_cast<std::uint32_t>(r), partial[r]);
-    });
-    for (auto& p : partial) {
-      result.itemsets.insert(result.itemsets.end(),
-                             std::make_move_iterator(p.begin()),
-                             std::make_move_iterator(p.end()));
-    }
+    ThreadPool::TaskGroup group(pool);
+    shared.group = &group;
+    std::vector<FrequentItemset> local;  // calling thread's buffer
+    mine_all_ranks(local);
+    group.wait();
+    shared.flush(local);
+    result.metrics.num_workers = pool.size();
+    const SchedulerMetrics sched = pool.metrics();
+    result.metrics.tasks_spawned = sched.tasks_spawned;
+    result.metrics.tasks_stolen = sched.tasks_stolen;
+    result.metrics.peak_queue_length = sched.peak_queue_length;
+    result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
   }
+
+  for (const auto& slot : shared.depth_histogram) {
+    result.metrics.depth_histogram.push_back(
+        slot.load(std::memory_order_relaxed));
+  }
+  while (!result.metrics.depth_histogram.empty() &&
+         result.metrics.depth_histogram.back() == 0) {
+    result.metrics.depth_histogram.pop_back();
+  }
+  result.metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
 
   sort_canonical(result.itemsets);
   return result;

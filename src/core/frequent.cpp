@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+#include <sstream>
 
 #include "common/ensure.hpp"
 
@@ -24,6 +26,55 @@ void MiningParams::validate() const {
   GPUMINE_CHECK_ARG(min_support > 0.0 && min_support <= 1.0,
                     "min_support must be in (0, 1]");
   GPUMINE_CHECK_ARG(max_length >= 1, "max_length must be >= 1");
+  GPUMINE_CHECK_ARG(spawn_cutoff_nodes >= 1,
+                    "spawn_cutoff_nodes must be >= 1");
+}
+
+std::string MiningMetrics::summary() const {
+  std::ostringstream out;
+  out << "mining stats:\n"
+      << "  workers:        " << num_workers << "\n"
+      << "  wall time:      " << wall_seconds * 1e3 << " ms\n"
+      << "  tasks spawned:  " << tasks_spawned << "\n"
+      << "  tasks stolen:   " << tasks_stolen << "\n"
+      << "  peak queue len: " << peak_queue_length << "\n";
+  if (!worker_busy_seconds.empty()) {
+    const double total = std::accumulate(worker_busy_seconds.begin(),
+                                         worker_busy_seconds.end(), 0.0);
+    double busiest = 0.0;
+    for (double s : worker_busy_seconds) busiest = std::max(busiest, s);
+    out << "  busy time:      " << total * 1e3 << " ms total, busiest worker "
+        << busiest * 1e3 << " ms\n";
+  }
+  if (!depth_histogram.empty()) {
+    out << "  tree depth:     ";
+    for (std::size_t d = 0; d < depth_histogram.size(); ++d) {
+      if (d > 0) out << " ";
+      out << d << ":" << depth_histogram[d];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MiningMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"num_workers\":" << num_workers
+      << ",\"tasks_spawned\":" << tasks_spawned
+      << ",\"tasks_stolen\":" << tasks_stolen
+      << ",\"peak_queue_length\":" << peak_queue_length
+      << ",\"wall_seconds\":" << wall_seconds << ",\"worker_busy_seconds\":[";
+  for (std::size_t i = 0; i < worker_busy_seconds.size(); ++i) {
+    if (i > 0) out << ",";
+    out << worker_busy_seconds[i];
+  }
+  out << "],\"depth_histogram\":[";
+  for (std::size_t i = 0; i < depth_histogram.size(); ++i) {
+    if (i > 0) out << ",";
+    out << depth_histogram[i];
+  }
+  out << "]}";
+  return out.str();
 }
 
 SupportMap MiningResult::support_map() const {

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,9 +21,15 @@ struct MiningParams {
   double min_support = 0.05;
   /// Maximum itemset length. Paper default: 5 (Sec. III-D).
   std::size_t max_length = 5;
-  /// Worker threads for FP-Growth's top-level conditional trees;
-  /// 0 = hardware concurrency, 1 = sequential.
+  /// Worker threads for the mining scheduler (FP-Growth and Eclat spawn
+  /// work-stealing tasks recursively; partitioned mining parallelizes
+  /// across partitions). 0 = hardware concurrency, 1 = sequential.
   std::size_t num_threads = 1;
+  /// FP-Growth spawns a scheduler task for a conditional tree with at
+  /// least this many nodes; smaller trees are mined inline. Lower values
+  /// expose more parallelism, higher values cut task overhead. Ignored
+  /// when num_threads == 1.
+  std::size_t spawn_cutoff_nodes = 256;
 
   /// Converts the fractional threshold into an absolute count over a
   /// database of `db_size` transactions: the smallest count c with
@@ -38,6 +45,29 @@ struct FrequentItemset {
   std::uint64_t count;  // sigma(items)
 };
 
+/// Observability counters for one mining run, filled by the algorithms
+/// that use the work-stealing scheduler (FP-Growth, Eclat, partitioned).
+/// Rendered by `gpumine mine --stats` and emitted as JSON by the bench
+/// harness; all fields are zero for purely sequential algorithms.
+struct MiningMetrics {
+  std::size_t num_workers = 1;        // scheduler width (1 = sequential)
+  std::uint64_t tasks_spawned = 0;    // scheduler tasks submitted
+  std::uint64_t tasks_stolen = 0;     // tasks executed by a non-owner thread
+  std::size_t peak_queue_length = 0;  // max depth of any worker deque
+  double wall_seconds = 0.0;          // end-to-end mining wall time
+  std::vector<double> worker_busy_seconds;  // per-worker task execution time
+  /// Histogram of mining-recursion depth: slot d counts conditional trees
+  /// mined at depth d (top-level projections are depth 0). The last slot
+  /// aggregates anything deeper.
+  std::vector<std::uint64_t> depth_histogram;
+
+  /// Human-readable multi-line summary for `--stats`.
+  [[nodiscard]] std::string summary() const;
+
+  /// Single-line JSON object for machine consumption (bench trajectory).
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// Lookup table from itemset to support count. Heterogeneous lookup via
 /// span avoids building temporary vectors on the hot rule-generation path.
 using SupportMap =
@@ -49,6 +79,7 @@ using SupportMap =
 struct MiningResult {
   std::vector<FrequentItemset> itemsets;
   std::uint64_t db_size = 0;
+  MiningMetrics metrics;  // scheduler observability; not part of equality
 
   /// Builds the support lookup map (linear in output size).
   [[nodiscard]] SupportMap support_map() const;

@@ -1,6 +1,7 @@
 #include "core/partitioned.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
@@ -20,6 +21,7 @@ MiningResult mine_partitioned(const TransactionDb& db,
   result.db_size = db.size();
   if (db.empty()) return result;
 
+  const auto wall_begin = std::chrono::steady_clock::now();
   const std::size_t p = std::min(params.num_partitions, db.size());
 
   // Pass 1: mine each contiguous slice at the same fractional support.
@@ -39,6 +41,12 @@ MiningResult mine_partitioned(const TransactionDb& db,
       local_params.num_threads = 1;  // parallelism lives at partition level
       local[i] = mine_fpgrowth(parts[i], local_params).itemsets;
     });
+    result.metrics.num_workers = pool.size();
+    const SchedulerMetrics sched = pool.metrics();
+    result.metrics.tasks_spawned = sched.tasks_spawned;
+    result.metrics.tasks_stolen = sched.tasks_stolen;
+    result.metrics.peak_queue_length = sched.peak_queue_length;
+    result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
   }
 
   // Union of local winners = global candidate set (SON property).
@@ -59,6 +67,10 @@ MiningResult mine_partitioned(const TransactionDb& db,
   for (const auto& [items, count] : candidates) {
     if (count >= min_count) result.itemsets.push_back({items, count});
   }
+  result.metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_begin)
+          .count();
   sort_canonical(result.itemsets);
   return result;
 }

@@ -23,6 +23,7 @@ bool read_record(std::istream& in, char delimiter,
   bad_quoting = false;
   std::string field;
   bool in_quotes = false;
+  bool after_quote = false;  // the current field's quoted section closed
   bool any = false;
   int ch = 0;
   while ((ch = in.get()) != EOF) {
@@ -35,19 +36,21 @@ bool read_record(std::istream& in, char delimiter,
           in.get();
         } else {
           in_quotes = false;
+          after_quote = true;
         }
       } else {
         if (c == '\n') ++line_no;
         field.push_back(c);
       }
     } else if (c == '"') {
-      if (!field.empty()) {
-        bad_quoting = true;  // quote opening mid-field
+      if (!field.empty() || after_quote) {
+        bad_quoting = true;  // quote opening mid-field, or reopening
       }
       in_quotes = true;
     } else if (c == delimiter) {
       fields.push_back(std::move(field));
       field.clear();
+      after_quote = false;
     } else if (c == '\r') {
       // swallow; \r\n handled by the \n branch
     } else if (c == '\n') {
@@ -55,6 +58,9 @@ bool read_record(std::istream& in, char delimiter,
       fields.push_back(std::move(field));
       return true;
     } else {
+      if (after_quote) {
+        bad_quoting = true;  // trailing text after a closing quote
+      }
       field.push_back(c);
     }
   }
@@ -123,17 +129,22 @@ Result<Table> read_csv(std::istream& in, const CsvParams& params,
   // Collect raw cells; type inference needs the whole column.
   std::vector<std::vector<std::string>> cells(header.size());
   std::vector<std::string> fields;
+  std::size_t record_line = line_no;  // where the upcoming record starts
   while (read_record(in, params.delimiter, fields, line_no, bad_quoting)) {
     if (bad_quoting) {
-      return Error{std::string(context) + ":" + std::to_string(line_no),
+      return Error{std::string(context) + ":" + std::to_string(record_line),
                    "malformed quoting"};
     }
-    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() == 1 && fields[0].empty()) {  // blank line
+      record_line = line_no;
+      continue;
+    }
     if (fields.size() != header.size()) {
-      return Error{std::string(context) + ":" + std::to_string(line_no),
+      return Error{std::string(context) + ":" + std::to_string(record_line),
                    "expected " + std::to_string(header.size()) +
                        " fields, got " + std::to_string(fields.size())};
     }
+    record_line = line_no;
     for (std::size_t c = 0; c < fields.size(); ++c) {
       cells[c].push_back(std::move(fields[c]));
     }

@@ -66,5 +66,27 @@ TEST(TransactionDb, TotalItemsCountsStoredOccurrences) {
   EXPECT_EQ(db.total_items(), 3u);
 }
 
+// Support-inflation guard: repeated items within one transaction must not
+// raise per-item counts (FP-tree insertion weights) or subset supports
+// above the number of containing transactions.
+TEST(TransactionDb, DuplicateItemsCannotInflateSupport) {
+  TransactionDb db;
+  db.add({5, 5, 5, 2});
+  db.add({2, 2});
+  db.add({5});
+
+  const auto counts = db.item_counts();
+  EXPECT_EQ(counts[5], 2u);  // not 4
+  EXPECT_EQ(counts[2], 2u);  // not 3
+  EXPECT_EQ(db.support_count(Itemset{5}), 2u);
+  EXPECT_EQ(db.support_count(Itemset{2, 5}), 1u);
+
+  // Every stored transaction is strictly increasing — the invariant the
+  // FP-tree's rank-ascending insert depends on.
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    EXPECT_TRUE(is_canonical(db[t])) << "transaction " << t;
+  }
+}
+
 }  // namespace
 }  // namespace gpumine::core

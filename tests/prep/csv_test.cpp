@@ -96,6 +96,44 @@ TEST(CsvRead, ErrorOnUnterminatedQuote) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(CsvRead, ErrorOnUnterminatedQuoteAtEof) {
+  // No trailing newline: the quoted field runs straight into EOF.
+  const auto result = parse("a\n\"oops");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("malformed quoting"),
+            std::string::npos);
+}
+
+TEST(CsvRead, ErrorOnTextAfterClosingQuote) {
+  // "a"b silently parsed as "ab" before; garbage after a closing quote
+  // must be flagged just like a quote opening mid-field.
+  const auto result = parse("col\n\"a\"b\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("malformed quoting"),
+            std::string::npos);
+}
+
+TEST(CsvRead, ErrorOnTextAfterEscapedQuoteField) {
+  // "a""b" is a valid quoted field (a"b); the trailing c is not.
+  const auto result = parse("col\n\"a\"\"b\"c\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("malformed quoting"),
+            std::string::npos);
+}
+
+TEST(CsvRead, QuoteErrorsReportLineNumber) {
+  const auto result = parse("col\nok\n\"a\"b\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().context.find(":3"), std::string::npos);
+}
+
+TEST(CsvRead, ClosingQuoteFollowedByDelimiterIsFine) {
+  const auto result = parse("a,b\n\"x\",\"y\"\n");
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().categorical("a").label(0), "x");
+  EXPECT_EQ(result.value().categorical("b").label(0), "y");
+}
+
 TEST(CsvRead, HeaderOnlyGivesEmptyTable) {
   const auto result = parse("a,b\n");
   ASSERT_TRUE(result.ok());
