@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 
 #include "core/apriori.hpp"
@@ -112,8 +114,8 @@ double time_ms(const core::TransactionDb& db, const core::MiningParams& p,
 // with an unreachable spawn cutoff) against recursive work-stealing
 // spawning, on the skewed trace. Emits one machine-readable JSON line so
 // the bench trajectory can track the speedup and steal counts over PRs.
-void run_scheduler_experiment() {
-  const auto db = make_skewed_db(20000, 7);
+void run_scheduler_experiment(std::size_t num_txns = 20000) {
+  const auto db = make_skewed_db(num_txns, 7);
   // Floor at 4 workers: on a 1-core box the OS still interleaves them, so
   // stealing (and its metrics) are exercised even without real speedup.
   const unsigned hw = std::thread::hardware_concurrency();
@@ -146,6 +148,45 @@ void run_scheduler_experiment() {
       recursive_ms, serial_ms / recursive_ms, toplevel_ms / recursive_ms,
       mined.metrics.to_json().c_str());
   std::fflush(stdout);
+}
+
+// CI bench-smoke: times the skewed trace at a CI-friendly size and
+// writes one BENCH_*.json trajectory record ({pr, commit, serial_ms,
+// recursive_ms, peak_arena_bytes}) so every PR appends a comparable
+// point. Returns a process exit code.
+int run_bench_smoke(const char* path, long pr, const char* commit) {
+  const auto db = make_skewed_db(8000, 7);
+  const std::size_t threads =
+      std::max<std::size_t>(4, std::thread::hardware_concurrency());
+
+  core::MiningParams serial = params();
+  serial.min_support = 0.02;
+  serial.num_threads = 1;
+
+  core::MiningParams recursive = serial;
+  recursive.num_threads = threads;
+  recursive.spawn_cutoff_nodes = 64;
+
+  const double serial_ms = time_ms(db, serial);
+  core::MiningResult mined;
+  const double recursive_ms = time_ms(db, recursive, &mined);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"pr\":%ld,\"commit\":\"%s\",\"serial_ms\":%.3f,"
+               "\"recursive_ms\":%.3f,\"peak_arena_bytes\":%zu}\n",
+               pr, commit, serial_ms, recursive_ms,
+               mined.metrics.peak_arena_bytes);
+  std::fclose(out);
+  std::printf("bench-smoke: serial %.3f ms, recursive %.3f ms (x%zu), "
+              "peak arena %zu bytes -> %s\n",
+              serial_ms, recursive_ms, threads,
+              mined.metrics.peak_arena_bytes, path);
+  return 0;
 }
 
 void BM_FpGrowth(benchmark::State& state) {
@@ -292,9 +333,29 @@ BENCHMARK(BM_KeywordPruning)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// Custom main: the scheduler experiment prints its JSON line first, then
+// Custom main. `--smoke-json=PATH [--smoke-pr=N] [--smoke-commit=SHA]`
+// runs only the CI bench-smoke and writes the trajectory record there.
+// Otherwise the scheduler experiment prints its JSON line first, then
 // the regular google-benchmark suite runs.
 int main(int argc, char** argv) {
+  const char* smoke_json = nullptr;
+  long smoke_pr = 0;
+  const char* smoke_commit = "unknown";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--smoke-json=")) {
+      smoke_json = argv[i] + std::string_view("--smoke-json=").size();
+    } else if (arg.starts_with("--smoke-pr=")) {
+      smoke_pr = std::strtol(argv[i] + std::string_view("--smoke-pr=").size(),
+                             nullptr, 10);
+    } else if (arg.starts_with("--smoke-commit=")) {
+      smoke_commit = argv[i] + std::string_view("--smoke-commit=").size();
+    }
+  }
+  if (smoke_json != nullptr) {
+    return run_bench_smoke(smoke_json, smoke_pr, smoke_commit);
+  }
+
   run_scheduler_experiment();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <iterator>
 #include <mutex>
+#include <span>
 #include <utility>
 
 #include "common/thread_pool.hpp"
@@ -12,13 +14,19 @@ namespace gpumine::core {
 namespace {
 
 using TidList = std::vector<std::uint32_t>;
+using TidSpan = std::span<const std::uint32_t>;
 
+// One equivalence-class member. Level-1 nodes view the rank encoding's
+// flat tid buffer directly; deeper nodes own the intersection they were
+// built from, with `tids` spanning it (vector moves keep the heap buffer
+// stable, so moving a Node — or its class into a task — is safe).
 struct Node {
   ItemId item;
-  TidList tids;
+  TidSpan tids;
+  TidList owned;
 };
 
-TidList intersect(const TidList& a, const TidList& b) {
+TidList intersect(TidSpan a, TidSpan b) {
   TidList out;
   out.reserve(std::min(a.size(), b.size()));
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
@@ -61,6 +69,7 @@ void mine_class(EclatShared& shared, const Itemset& prefix,
   for (std::size_t i = 0; i < klass.size(); ++i) {
     Itemset extended = prefix;
     extended.push_back(klass[i].item);
+    canonicalize(extended);
     out.push_back({extended, klass[i].tids.size()});
     if (extended.size() >= shared.max_length) continue;
 
@@ -68,7 +77,11 @@ void mine_class(EclatShared& shared, const Itemset& prefix,
     for (std::size_t j = i + 1; j < klass.size(); ++j) {
       TidList tids = intersect(klass[i].tids, klass[j].tids);
       if (tids.size() >= shared.min_count) {
-        next_class.push_back({klass[j].item, std::move(tids)});
+        Node node;
+        node.item = klass[j].item;
+        node.owned = std::move(tids);
+        node.tids = node.owned;
+        next_class.push_back(std::move(node));
       }
     }
     if (next_class.empty()) continue;
@@ -97,20 +110,18 @@ MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
   const auto wall_begin = std::chrono::steady_clock::now();
   const std::uint64_t min_count = params.min_count(db.size());
 
-  // Build the vertical layout: one sorted tid-list per item. Transactions
-  // are scanned in id order, so lists come out sorted for free.
-  std::vector<TidList> tidlists(db.item_id_bound());
-  for (std::size_t t = 0; t < db.size(); ++t) {
-    for (ItemId id : db[t]) {
-      tidlists[id].push_back(static_cast<std::uint32_t>(t));
-    }
-  }
+  // The shared rank encoding carries the vertical layout: one sorted
+  // tid-list per frequent item, all back to back in a flat buffer the
+  // level-1 nodes view without copying.
+  const RankEncoding enc = rank_encode(db, min_count, /*with_tids=*/true);
 
   std::vector<Node> root;
-  for (ItemId id = 0; id < tidlists.size(); ++id) {
-    if (tidlists[id].size() >= min_count) {
-      root.push_back({id, std::move(tidlists[id])});
-    }
+  root.reserve(enc.num_ranks());
+  for (std::uint32_t r = 0; r < enc.num_ranks(); ++r) {
+    Node node;
+    node.item = enc.item_of_rank[r];
+    node.tids = enc.tidlist(r);
+    root.push_back(std::move(node));
   }
 
   EclatShared shared;

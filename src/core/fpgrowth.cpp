@@ -6,8 +6,10 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/arena.hpp"
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
 
@@ -15,71 +17,173 @@ namespace gpumine::core {
 namespace {
 
 constexpr std::uint32_t kNoRank = static_cast<std::uint32_t>(-1);
-constexpr std::int32_t kNoNode = -1;
+constexpr std::uint32_t kNoNode = static_cast<std::uint32_t>(-1);
+constexpr std::uint64_t kEmptySlot = static_cast<std::uint64_t>(-1);
 
-// FP-tree over *ranks*: each frequent item is renumbered 0..n-1 in
-// support-descending order, and tree paths are strictly rank-increasing
-// from the root. Header chains link all nodes of a rank.
-class FpTree {
+// 64-bit finalizer (Murmur3-style): both key halves — parent id high,
+// rank low — reach every slot bit, so sibling runs don't cluster.
+constexpr std::size_t hash_key(std::uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDull;
+  key ^= key >> 33;
+  return static_cast<std::size_t>(key);
+}
+
+// Cross-tree observability, shared by every tree of one mining run.
+struct TreeStats {
+  std::atomic<std::uint64_t> probes{0};          // child-table slots inspected
+  std::atomic<std::uint64_t> resident_nodes{0};  // nodes of all live trees
+  std::atomic<std::uint64_t> peak_nodes{0};      // max of resident_nodes
+};
+
+// FP-tree over *ranks* in a structure-of-arrays layout: parallel
+// item_rank/count/parent/header_next arrays of 32-bit indices, all bump-
+// allocated from one per-task arena in a single reservation (the node
+// capacity is known before the first insert). Children are resolved
+// through an open-addressing table keyed by (parent << 32 | rank), also
+// arena-resident, probed linearly at <= 0.5 load — no per-node heap
+// allocations, no pointer chasing beyond the parent walk itself.
+//
+// Paths are strictly rank-increasing from the root (node 0); header
+// chains link all nodes of a rank.
+class FlatFpTree {
  public:
-  struct Node {
-    std::uint32_t rank;
-    std::uint64_t count;
-    std::int32_t parent;
-    std::int32_t next;  // next node of the same rank (header chain)
-  };
+  // `max_nodes` bounds the node count *including* the root; every array
+  // is reserved up front from `arena`, which the tree owns until
+  // destruction (work-stealing may destroy it on another thread).
+  FlatFpTree(ArenaPool::Handle arena, std::uint32_t num_ranks,
+             std::uint32_t max_nodes, TreeStats* stats)
+      : arena_(std::move(arena)), stats_(stats) {
+    GPUMINE_ENSURE(max_nodes >= 1 && max_nodes < kNoNode,
+                   "FP-tree node capacity out of 32-bit range");
+    item_of_rank_ = arena_->allocate_array<ItemId>(num_ranks);
+    count_of_rank_ = arena_->allocate_array<std::uint64_t>(num_ranks);
+    header_ = arena_->allocate_array<std::uint32_t>(num_ranks);
+    std::fill(header_.begin(), header_.end(), kNoNode);
 
-  // `item_of_rank[r]` is the original ItemId for rank r;
-  // `count_of_rank[r]` its total support in the (conditional) database.
-  FpTree(std::vector<ItemId> item_of_rank, std::vector<std::uint64_t> count_of_rank)
-      : item_of_rank_(std::move(item_of_rank)),
-        count_of_rank_(std::move(count_of_rank)),
-        header_(item_of_rank_.size(), kNoNode) {
-    GPUMINE_ENSURE(item_of_rank_.size() == count_of_rank_.size(),
-                   "rank tables must be parallel");
-    nodes_.push_back({kNoRank, 0, kNoNode, kNoNode});  // root
-    child_count_.push_back(0);
+    rank_ = arena_->allocate_array<std::uint32_t>(max_nodes);
+    count_ = arena_->allocate_array<std::uint64_t>(max_nodes);
+    parent_ = arena_->allocate_array<std::uint32_t>(max_nodes);
+    next_ = arena_->allocate_array<std::uint32_t>(max_nodes);
+    child_count_ = arena_->allocate_array<std::uint32_t>(max_nodes);
+
+    std::size_t table = 16;
+    while (table < static_cast<std::size_t>(max_nodes) * 2) table *= 2;
+    slot_key_ = arena_->allocate_array<std::uint64_t>(table);
+    slot_node_ = arena_->allocate_array<std::uint32_t>(table);
+    std::fill(slot_key_.begin(), slot_key_.end(), kEmptySlot);
+    table_mask_ = table - 1;
+
+    rank_[0] = kNoRank;  // root
+    count_[0] = 0;
+    parent_[0] = kNoNode;
+    next_[0] = kNoNode;
+    child_count_[0] = 0;
+    num_nodes_ = 1;
+  }
+
+  FlatFpTree(FlatFpTree&& other) noexcept
+      : arena_(std::move(other.arena_)),
+        stats_(other.stats_),
+        item_of_rank_(other.item_of_rank_),
+        count_of_rank_(other.count_of_rank_),
+        header_(other.header_),
+        rank_(other.rank_),
+        count_(other.count_),
+        parent_(other.parent_),
+        next_(other.next_),
+        child_count_(other.child_count_),
+        slot_key_(other.slot_key_),
+        slot_node_(other.slot_node_),
+        table_mask_(other.table_mask_),
+        probes_(std::exchange(other.probes_, 0)),
+        num_nodes_(other.num_nodes_),
+        registered_(std::exchange(other.registered_, false)),
+        single_path_(other.single_path_) {}
+
+  FlatFpTree(const FlatFpTree&) = delete;
+  FlatFpTree& operator=(const FlatFpTree&) = delete;
+  FlatFpTree& operator=(FlatFpTree&&) = delete;
+
+  ~FlatFpTree() {
+    if (stats_ != nullptr) {
+      if (probes_ > 0) {
+        stats_->probes.fetch_add(probes_, std::memory_order_relaxed);
+      }
+      if (registered_) {
+        stats_->resident_nodes.fetch_sub(num_nodes_,
+                                         std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void init_rank(std::uint32_t rank, ItemId item, std::uint64_t count) {
+    item_of_rank_[rank] = item;
+    count_of_rank_[rank] = count;
   }
 
   // Inserts a strictly rank-ascending path with multiplicity `weight`.
   void insert(std::span<const std::uint32_t> ranks, std::uint64_t weight) {
-    std::int32_t cur = 0;  // root
+    std::uint32_t cur = 0;  // root
     for (std::uint32_t r : ranks) {
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(cur) << 32) | r;
-      auto it = child_index_.find(key);
-      if (it != child_index_.end()) {
-        cur = it->second;
-        nodes_[static_cast<std::size_t>(cur)].count += weight;
-      } else {
-        const auto next_id = static_cast<std::int32_t>(nodes_.size());
-        nodes_.push_back({r, weight, cur, header_[r]});
-        child_count_.push_back(0);
-        header_[r] = next_id;
-        child_index_.emplace(key, next_id);
-        ++child_count_[static_cast<std::size_t>(cur)];
-        cur = next_id;
+      const std::uint64_t key = (static_cast<std::uint64_t>(cur) << 32) | r;
+      std::size_t slot = hash_key(key) & table_mask_;
+      ++probes_;
+      while (slot_key_[slot] != kEmptySlot && slot_key_[slot] != key) {
+        slot = (slot + 1) & table_mask_;
+        ++probes_;
       }
+      if (slot_key_[slot] == key) {
+        cur = slot_node_[slot];
+        count_[cur] += weight;
+      } else {
+        const std::uint32_t id = num_nodes_++;
+        rank_[id] = r;
+        count_[id] = weight;
+        parent_[id] = cur;
+        next_[id] = header_[r];
+        child_count_[id] = 0;
+        header_[r] = id;
+        slot_key_[slot] = key;
+        slot_node_[slot] = id;
+        if (child_count_[cur]++ != 0) single_path_ = false;
+        cur = id;
+      }
+    }
+  }
+
+  // Publishes the node count to the run's resident/peak counters; call
+  // once when the build is complete.
+  void finish_build() {
+    if (stats_ == nullptr || registered_) return;
+    registered_ = true;
+    const std::uint64_t now =
+        stats_->resident_nodes.fetch_add(num_nodes_,
+                                         std::memory_order_relaxed) +
+        num_nodes_;
+    std::uint64_t peak = stats_->peak_nodes.load(std::memory_order_relaxed);
+    while (now > peak && !stats_->peak_nodes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
     }
   }
 
   [[nodiscard]] std::size_t num_ranks() const { return item_of_rank_.size(); }
   /// Tree size including the root — the scheduler's spawn heuristic.
-  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
   [[nodiscard]] ItemId item(std::uint32_t rank) const { return item_of_rank_[rank]; }
   [[nodiscard]] std::uint64_t rank_count(std::uint32_t rank) const {
     return count_of_rank_[rank];
   }
-  [[nodiscard]] std::int32_t header(std::uint32_t rank) const { return header_[rank]; }
-  [[nodiscard]] const Node& node(std::int32_t id) const {
-    return nodes_[static_cast<std::size_t>(id)];
+  [[nodiscard]] std::uint32_t header(std::uint32_t rank) const {
+    return header_[rank];
   }
+  [[nodiscard]] std::uint32_t node_rank(std::uint32_t id) const { return rank_[id]; }
+  [[nodiscard]] std::uint64_t node_count(std::uint32_t id) const { return count_[id]; }
+  [[nodiscard]] std::uint32_t node_parent(std::uint32_t id) const { return parent_[id]; }
+  [[nodiscard]] std::uint32_t node_next(std::uint32_t id) const { return next_[id]; }
 
   // True iff no node has more than one child — the single-path case.
-  [[nodiscard]] bool single_path() const {
-    return std::all_of(child_count_.begin(), child_count_.end(),
-                       [](std::uint32_t c) { return c <= 1; });
-  }
+  [[nodiscard]] bool single_path() const { return single_path_; }
 
   // For a single-path tree: the path as (item, count) from root downward.
   [[nodiscard]] std::vector<std::pair<ItemId, std::uint64_t>> path() const {
@@ -89,76 +193,151 @@ class FpTree {
     // itself enumerates the path in rank order.
     for (std::uint32_t r = 0; r < header_.size(); ++r) {
       if (header_[r] != kNoNode) {
-        const Node& n = node(header_[r]);
-        out.emplace_back(item_of_rank_[r], n.count);
+        out.emplace_back(item_of_rank_[r], count_[header_[r]]);
       }
     }
     return out;
   }
 
  private:
-  std::vector<ItemId> item_of_rank_;
-  std::vector<std::uint64_t> count_of_rank_;
-  std::vector<std::int32_t> header_;
-  std::vector<Node> nodes_;
-  std::vector<std::uint32_t> child_count_;
-  std::unordered_map<std::uint64_t, std::int32_t> child_index_;
+  ArenaPool::Handle arena_;
+  TreeStats* stats_;
+  std::span<ItemId> item_of_rank_;
+  std::span<std::uint64_t> count_of_rank_;
+  std::span<std::uint32_t> header_;
+  std::span<std::uint32_t> rank_;       // per node
+  std::span<std::uint64_t> count_;      // per node
+  std::span<std::uint32_t> parent_;     // per node; kNoNode for the root
+  std::span<std::uint32_t> next_;       // per node; header chain of its rank
+  std::span<std::uint32_t> child_count_;  // per node
+  std::span<std::uint64_t> slot_key_;   // open-addressing child table
+  std::span<std::uint32_t> slot_node_;
+  std::size_t table_mask_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint32_t num_nodes_ = 0;
+  bool registered_ = false;
+  bool single_path_ = true;
+};
+
+// Per-thread projection scratch, reused across every conditional-tree
+// build this thread performs: weighted counts, path-occurrence counts
+// and the old->new rank map are flat arrays over the parent's ranks, so
+// a projection touches the global allocator only while the scratch
+// grows toward its high-water capacity.
+struct CondScratch {
+  std::vector<std::uint64_t> weight;       // old rank -> projected support
+  std::vector<std::uint32_t> occurrences;  // old rank -> path occurrences
+  std::vector<std::uint32_t> new_rank;     // old rank -> new rank (kNoRank)
+  std::vector<std::uint32_t> kept;         // old ranks surviving min_count
+  std::vector<std::uint32_t> path;         // one prefix path, new ranks
+};
+
+CondScratch& cond_scratch() {
+  static thread_local CondScratch scratch;
+  return scratch;
+}
+
+// Shared state of one parallel (or serial) FP-Growth run. Tasks append
+// their locally collected itemsets into `out` under `out_mutex`; the
+// final sort_canonical makes the merge order irrelevant, so thread-count
+// and steal order never change the result.
+struct MineShared {
+  static constexpr std::size_t kDepthSlots = 16;
+
+  std::uint64_t min_count = 0;
+  std::size_t max_length = 0;
+  std::size_t spawn_cutoff_nodes = 0;
+  ThreadPool::TaskGroup* group = nullptr;  // null => mine serially
+
+  ArenaPool arena_pool;  // every tree's arrays live in a pooled arena
+  TreeStats tree_stats;
+
+  std::mutex out_mutex;
+  std::vector<FrequentItemset>* out = nullptr;
+
+  // Conditional trees mined per recursion depth; last slot = "deeper".
+  std::array<std::atomic<std::uint64_t>, kDepthSlots> depth_histogram{};
+
+  void record_depth(std::size_t depth) {
+    const std::size_t slot = std::min(depth, kDepthSlots - 1);
+    depth_histogram[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void flush(std::vector<FrequentItemset>& local) {
+    std::lock_guard lock(out_mutex);
+    out->insert(out->end(), std::make_move_iterator(local.begin()),
+                std::make_move_iterator(local.end()));
+  }
 };
 
 // Builds the conditional FP-tree for `rank` of `tree`: the database of
 // prefix paths of every `rank` node, weighted by that node's count,
-// restricted to items that stay frequent in the projection.
-FpTree conditional_tree(const FpTree& tree, std::uint32_t rank,
-                        std::uint64_t min_count) {
+// restricted to items that stay frequent in the projection. The new tree
+// draws a fresh arena from the pool; its exact node-capacity bound (total
+// surviving path occurrences) falls out of the counting pass.
+FlatFpTree conditional_tree(MineShared& shared, const FlatFpTree& tree,
+                            std::uint32_t rank) {
+  CondScratch& scratch = cond_scratch();
+  const std::size_t parent_ranks = tree.num_ranks();
+  scratch.weight.assign(parent_ranks, 0);
+  scratch.occurrences.assign(parent_ranks, 0);
+
   // Pass 1: weighted item counts over the prefix paths.
-  std::unordered_map<std::uint32_t, std::uint64_t> counts;  // old rank -> count
-  for (std::int32_t id = tree.header(rank); id != kNoNode;
-       id = tree.node(id).next) {
-    const std::uint64_t w = tree.node(id).count;
-    for (std::int32_t p = tree.node(id).parent; p != 0;
-         p = tree.node(p).parent) {
-      counts[tree.node(p).rank] += w;
+  for (std::uint32_t id = tree.header(rank); id != kNoNode;
+       id = tree.node_next(id)) {
+    const std::uint64_t w = tree.node_count(id);
+    for (std::uint32_t p = tree.node_parent(id); p != 0;
+         p = tree.node_parent(p)) {
+      scratch.weight[tree.node_rank(p)] += w;
+      ++scratch.occurrences[tree.node_rank(p)];
     }
   }
 
   // New rank order: support-descending, ties by old rank for determinism.
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> kept;
-  for (const auto& [r, c] : counts) {
-    if (c >= min_count) kept.emplace_back(r, c);
+  scratch.kept.clear();
+  for (std::uint32_t r = 0; r < parent_ranks; ++r) {
+    if (scratch.weight[r] >= shared.min_count) scratch.kept.push_back(r);
   }
-  std::sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  });
+  std::sort(scratch.kept.begin(), scratch.kept.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (scratch.weight[a] != scratch.weight[b]) {
+                return scratch.weight[a] > scratch.weight[b];
+              }
+              return a < b;
+            });
 
-  std::vector<ItemId> item_of_rank(kept.size());
-  std::vector<std::uint64_t> count_of_rank(kept.size());
-  std::unordered_map<std::uint32_t, std::uint32_t> new_rank;  // old -> new
-  new_rank.reserve(kept.size());
-  for (std::uint32_t nr = 0; nr < kept.size(); ++nr) {
-    item_of_rank[nr] = tree.item(kept[nr].first);
-    count_of_rank[nr] = kept[nr].second;
-    new_rank.emplace(kept[nr].first, nr);
+  // Every surviving path occurrence creates at most one node.
+  std::uint32_t max_nodes = 1;
+  for (std::uint32_t old : scratch.kept) max_nodes += scratch.occurrences[old];
+
+  FlatFpTree cond(shared.arena_pool.acquire(),
+                  static_cast<std::uint32_t>(scratch.kept.size()), max_nodes,
+                  &shared.tree_stats);
+  scratch.new_rank.assign(parent_ranks, kNoRank);
+  for (std::uint32_t nr = 0; nr < scratch.kept.size(); ++nr) {
+    const std::uint32_t old = scratch.kept[nr];
+    cond.init_rank(nr, tree.item(old), scratch.weight[old]);
+    scratch.new_rank[old] = nr;
   }
-
-  FpTree cond(std::move(item_of_rank), std::move(count_of_rank));
-  if (cond.num_ranks() == 0) return cond;
+  if (cond.num_ranks() == 0) {
+    cond.finish_build();
+    return cond;
+  }
 
   // Pass 2: re-insert each prefix path under the new ranking.
-  std::vector<std::uint32_t> path;
-  for (std::int32_t id = tree.header(rank); id != kNoNode;
-       id = tree.node(id).next) {
-    path.clear();
-    for (std::int32_t p = tree.node(id).parent; p != 0;
-         p = tree.node(p).parent) {
-      if (auto it = new_rank.find(tree.node(p).rank); it != new_rank.end()) {
-        path.push_back(it->second);
-      }
+  for (std::uint32_t id = tree.header(rank); id != kNoNode;
+       id = tree.node_next(id)) {
+    scratch.path.clear();
+    for (std::uint32_t p = tree.node_parent(id); p != 0;
+         p = tree.node_parent(p)) {
+      const std::uint32_t nr = scratch.new_rank[tree.node_rank(p)];
+      if (nr != kNoRank) scratch.path.push_back(nr);
     }
-    if (path.empty()) continue;
-    std::sort(path.begin(), path.end());
-    cond.insert(path, tree.node(id).count);
+    if (scratch.path.empty()) continue;
+    std::sort(scratch.path.begin(), scratch.path.end());
+    cond.insert(scratch.path, tree.node_count(id));
   }
+  cond.finish_build();
   return cond;
 }
 
@@ -187,45 +366,17 @@ void enumerate_single_path(
   recurse(recurse, 0);
 }
 
-// Shared state of one parallel (or serial) FP-Growth run. Tasks append
-// their locally collected itemsets into `out` under `out_mutex`; the
-// final sort_canonical makes the merge order irrelevant, so thread-count
-// and steal order never change the result.
-struct MineShared {
-  static constexpr std::size_t kDepthSlots = 16;
-
-  std::uint64_t min_count = 0;
-  std::size_t max_length = 0;
-  std::size_t spawn_cutoff_nodes = 0;
-  ThreadPool::TaskGroup* group = nullptr;  // null => mine serially
-
-  std::mutex out_mutex;
-  std::vector<FrequentItemset>* out = nullptr;
-
-  // Conditional trees mined per recursion depth; last slot = "deeper".
-  std::array<std::atomic<std::uint64_t>, kDepthSlots> depth_histogram{};
-
-  void record_depth(std::size_t depth) {
-    const std::size_t slot = std::min(depth, kDepthSlots - 1);
-    depth_histogram[slot].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  void flush(std::vector<FrequentItemset>& local) {
-    std::lock_guard lock(out_mutex);
-    out->insert(out->end(), std::make_move_iterator(local.begin()),
-                std::make_move_iterator(local.end()));
-  }
-};
-
-void mine_tree(MineShared& shared, const FpTree& tree, const Itemset& suffix,
-               std::size_t depth, std::vector<FrequentItemset>& out);
+void mine_tree(MineShared& shared, const FlatFpTree& tree,
+               const Itemset& suffix, std::size_t depth,
+               std::vector<FrequentItemset>& out);
 
 // Dispatches one conditional tree: the single-path shortcut inline, a
-// scheduler task for big trees (the task owns the tree and flushes its
-// own buffer), and inline recursion for the rest. `depth` is the depth
-// of `cond` itself.
-void mine_conditional(MineShared& shared, FpTree cond, const Itemset& suffix,
-                      std::size_t depth, std::vector<FrequentItemset>& out) {
+// scheduler task for big trees (the task owns the tree — and with it the
+// arena — and flushes its own buffer), and inline recursion for the
+// rest. `depth` is the depth of `cond` itself.
+void mine_conditional(MineShared& shared, FlatFpTree cond,
+                      const Itemset& suffix, std::size_t depth,
+                      std::vector<FrequentItemset>& out) {
   shared.record_depth(depth);
   if (cond.single_path()) {
     enumerate_single_path(cond.path(), suffix,
@@ -247,8 +398,9 @@ void mine_conditional(MineShared& shared, FpTree cond, const Itemset& suffix,
 // Recursive FP-Growth over `tree`, extending `suffix`. Conditional trees
 // above the spawn cutoff become independent work-stealing tasks, so one
 // heavy projection no longer serializes the run.
-void mine_tree(MineShared& shared, const FpTree& tree, const Itemset& suffix,
-               std::size_t depth, std::vector<FrequentItemset>& out) {
+void mine_tree(MineShared& shared, const FlatFpTree& tree,
+               const Itemset& suffix, std::size_t depth,
+               std::vector<FrequentItemset>& out) {
   // Least-frequent rank first is the classical order; any order yields
   // the same set, but this keeps conditional trees small.
   for (std::uint32_t r = static_cast<std::uint32_t>(tree.num_ranks()); r-- > 0;) {
@@ -258,7 +410,7 @@ void mine_tree(MineShared& shared, const FpTree& tree, const Itemset& suffix,
     out.push_back({extended, tree.rank_count(r)});
     if (extended.size() >= shared.max_length) continue;
 
-    FpTree cond = conditional_tree(tree, r, shared.min_count);
+    FlatFpTree cond = conditional_tree(shared, tree, r);
     if (cond.num_ranks() == 0) continue;
     mine_conditional(shared, std::move(cond), extended, depth + 1, out);
   }
@@ -274,45 +426,19 @@ MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) 
 
   const std::uint64_t min_count = params.min_count(db.size());
 
-  // Global item ranking by support (descending; ties by ItemId).
-  const auto counts = db.item_counts();
-  std::vector<ItemId> frequent_items;
-  for (ItemId id = 0; id < counts.size(); ++id) {
-    if (counts[id] >= min_count) frequent_items.push_back(id);
-  }
-  std::sort(frequent_items.begin(), frequent_items.end(),
-            [&](ItemId a, ItemId b) {
-              if (counts[a] != counts[b]) return counts[a] > counts[b];
-              return a < b;
-            });
+  // One shared re-encode: global support-descending ranks, transactions
+  // as rank-ascending runs in a flat buffer (see RankEncoding).
+  const RankEncoding enc = rank_encode(db, min_count);
+  const std::size_t n = enc.num_ranks();
 
-  std::vector<std::uint32_t> rank_of(db.item_id_bound(), kNoRank);
-  std::vector<std::uint64_t> count_of_rank(frequent_items.size());
-  for (std::uint32_t r = 0; r < frequent_items.size(); ++r) {
-    rank_of[frequent_items[r]] = r;
-    count_of_rank[r] = counts[frequent_items[r]];
-  }
-
-  FpTree tree(frequent_items, std::move(count_of_rank));
-  std::vector<std::uint32_t> ranks;
-  for (std::size_t t = 0; t < db.size(); ++t) {
-    ranks.clear();
-    for (ItemId id : db[t]) {
-      if (rank_of[id] != kNoRank) ranks.push_back(rank_of[id]);
-    }
-    if (ranks.empty()) continue;
-    std::sort(ranks.begin(), ranks.end());
-    tree.insert(ranks, 1);
-  }
+  const auto wall_begin = std::chrono::steady_clock::now();
 
   // Top level: 1-itemsets, then the recursive mine over each rank's
   // conditional tree. With threads, big projections (top-level or nested)
   // become work-stealing tasks; small ones are mined inline by whichever
   // thread produced them.
-  const auto wall_begin = std::chrono::steady_clock::now();
-  const std::size_t n = tree.num_ranks();
   for (std::uint32_t r = 0; r < n; ++r) {
-    result.itemsets.push_back({Itemset{tree.item(r)}, tree.rank_count(r)});
+    result.itemsets.push_back({Itemset{enc.item_of_rank[r]}, enc.count_of_rank[r]});
   }
 
   MineShared shared;
@@ -321,34 +447,57 @@ MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) 
   shared.spawn_cutoff_nodes = params.spawn_cutoff_nodes;
   shared.out = &result.itemsets;
 
-  auto mine_all_ranks = [&](std::vector<FrequentItemset>& out) {
-    if (params.max_length < 2) return;
-    for (std::uint32_t r = static_cast<std::uint32_t>(n); r-- > 0;) {
-      const Itemset suffix{tree.item(r)};
-      FpTree cond = conditional_tree(tree, r, min_count);
-      if (cond.num_ranks() == 0) continue;
-      mine_conditional(shared, std::move(cond), suffix, 0, out);
+  {
+    FlatFpTree tree(shared.arena_pool.acquire(), static_cast<std::uint32_t>(n),
+                    static_cast<std::uint32_t>(enc.items.size() + 1),
+                    &shared.tree_stats);
+    for (std::uint32_t r = 0; r < n; ++r) {
+      tree.init_rank(r, enc.item_of_rank[r], enc.count_of_rank[r]);
     }
-  };
+    for (std::size_t t = 0; t < enc.size(); ++t) {
+      const auto ranks = enc.transaction(t);
+      if (!ranks.empty()) tree.insert(ranks, 1);
+    }
+    tree.finish_build();
 
-  if (params.num_threads == 1 || n < 2) {
-    mine_all_ranks(result.itemsets);
-    result.metrics.num_workers = 1;
-  } else {
-    ThreadPool pool(params.num_threads);
-    ThreadPool::TaskGroup group(pool);
-    shared.group = &group;
-    std::vector<FrequentItemset> local;  // calling thread's buffer
-    mine_all_ranks(local);
-    group.wait();
-    shared.flush(local);
-    result.metrics.num_workers = pool.size();
-    const SchedulerMetrics sched = pool.metrics();
-    result.metrics.tasks_spawned = sched.tasks_spawned;
-    result.metrics.tasks_stolen = sched.tasks_stolen;
-    result.metrics.peak_queue_length = sched.peak_queue_length;
-    result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
-  }
+    auto mine_all_ranks = [&](std::vector<FrequentItemset>& out) {
+      if (params.max_length < 2) return;
+      for (std::uint32_t r = static_cast<std::uint32_t>(n); r-- > 0;) {
+        const Itemset suffix{tree.item(r)};
+        FlatFpTree cond = conditional_tree(shared, tree, r);
+        if (cond.num_ranks() == 0) continue;
+        mine_conditional(shared, std::move(cond), suffix, 0, out);
+      }
+    };
+
+    if (params.num_threads == 1 || n < 2) {
+      mine_all_ranks(result.itemsets);
+      result.metrics.num_workers = 1;
+    } else {
+      ThreadPool pool(params.num_threads);
+      ThreadPool::TaskGroup group(pool);
+      shared.group = &group;
+      std::vector<FrequentItemset> local;  // calling thread's buffer
+      mine_all_ranks(local);
+      group.wait();
+      shared.flush(local);
+      result.metrics.num_workers = pool.size();
+      const SchedulerMetrics sched = pool.metrics();
+      result.metrics.tasks_spawned = sched.tasks_spawned;
+      result.metrics.tasks_stolen = sched.tasks_stolen;
+      result.metrics.peak_queue_length = sched.peak_queue_length;
+      result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
+    }
+  }  // root tree released here, so the arena counters below are final
+
+  const ArenaPoolMetrics arena = shared.arena_pool.metrics();
+  result.metrics.arena_bytes_allocated = arena.bytes_allocated;
+  result.metrics.arena_bytes_reused = arena.bytes_reused;
+  result.metrics.peak_arena_bytes = arena.peak_bytes;
+  result.metrics.peak_tree_nodes =
+      shared.tree_stats.peak_nodes.load(std::memory_order_relaxed);
+  result.metrics.child_probe_count =
+      shared.tree_stats.probes.load(std::memory_order_relaxed);
 
   for (const auto& slot : shared.depth_histogram) {
     result.metrics.depth_histogram.push_back(

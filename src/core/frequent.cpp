@@ -38,6 +38,12 @@ std::string MiningMetrics::summary() const {
       << "  tasks spawned:  " << tasks_spawned << "\n"
       << "  tasks stolen:   " << tasks_stolen << "\n"
       << "  peak queue len: " << peak_queue_length << "\n";
+  if (peak_arena_bytes > 0) {
+    out << "  arena bytes:    " << arena_bytes_allocated << " allocated, "
+        << arena_bytes_reused << " reused, peak " << peak_arena_bytes << "\n"
+        << "  tree nodes:     peak " << peak_tree_nodes << " resident, "
+        << child_probe_count << " child probes\n";
+  }
   if (!worker_busy_seconds.empty()) {
     const double total = std::accumulate(worker_busy_seconds.begin(),
                                          worker_busy_seconds.end(), 0.0);
@@ -63,6 +69,11 @@ std::string MiningMetrics::to_json() const {
       << ",\"tasks_spawned\":" << tasks_spawned
       << ",\"tasks_stolen\":" << tasks_stolen
       << ",\"peak_queue_length\":" << peak_queue_length
+      << ",\"arena_bytes_allocated\":" << arena_bytes_allocated
+      << ",\"arena_bytes_reused\":" << arena_bytes_reused
+      << ",\"peak_arena_bytes\":" << peak_arena_bytes
+      << ",\"peak_tree_nodes\":" << peak_tree_nodes
+      << ",\"child_probe_count\":" << child_probe_count
       << ",\"wall_seconds\":" << wall_seconds << ",\"worker_busy_seconds\":[";
   for (std::size_t i = 0; i < worker_busy_seconds.size(); ++i) {
     if (i > 0) out << ",";

@@ -56,6 +56,16 @@ struct MiningMetrics {
   std::size_t peak_queue_length = 0;  // max depth of any worker deque
   double wall_seconds = 0.0;          // end-to-end mining wall time
   std::vector<double> worker_busy_seconds;  // per-worker task execution time
+  /// Arena traffic of the flat FP-tree layout (zero for miners that do
+  /// not build trees): fresh bytes drawn from malloc, bytes served from
+  /// recycled arenas, and the pool's total footprint.
+  std::uint64_t arena_bytes_allocated = 0;
+  std::uint64_t arena_bytes_reused = 0;
+  std::size_t peak_arena_bytes = 0;
+  /// Max FP-tree nodes resident at once across all live (conditional)
+  /// trees of the run, and total child-table slots probed inserting them.
+  std::uint64_t peak_tree_nodes = 0;
+  std::uint64_t child_probe_count = 0;
   /// Histogram of mining-recursion depth: slot d counts conditional trees
   /// mined at depth d (top-level projections are depth 0). The last slot
   /// aggregates anything deeper.

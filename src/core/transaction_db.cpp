@@ -1,6 +1,9 @@
 #include "core/transaction_db.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "common/ensure.hpp"
 
 namespace gpumine::core {
 
@@ -32,6 +35,62 @@ std::vector<std::uint64_t> TransactionDb::item_counts() const {
 void TransactionDb::reserve(std::size_t transactions, std::size_t items_total) {
   offsets_.reserve(transactions + 1);
   items_.reserve(items_total);
+}
+
+RankEncoding rank_encode(const TransactionDb& db, std::uint64_t min_count,
+                         bool with_tids) {
+  constexpr std::uint32_t kNoRank = std::numeric_limits<std::uint32_t>::max();
+  GPUMINE_ENSURE(db.size() < kNoRank && db.total_items() < kNoRank,
+                 "rank encoding is 32-bit");
+
+  RankEncoding enc;
+  const auto counts = db.item_counts();
+  for (ItemId id = 0; id < counts.size(); ++id) {
+    if (counts[id] >= min_count) enc.item_of_rank.push_back(id);
+  }
+  std::sort(enc.item_of_rank.begin(), enc.item_of_rank.end(),
+            [&](ItemId a, ItemId b) {
+              if (counts[a] != counts[b]) return counts[a] > counts[b];
+              return a < b;
+            });
+
+  enc.count_of_rank.resize(enc.num_ranks());
+  std::vector<std::uint32_t> rank_of(db.item_id_bound(), kNoRank);
+  for (std::uint32_t r = 0; r < enc.num_ranks(); ++r) {
+    rank_of[enc.item_of_rank[r]] = r;
+    enc.count_of_rank[r] = counts[enc.item_of_rank[r]];
+  }
+
+  enc.offsets.reserve(db.size() + 1);
+  enc.offsets.push_back(0);
+  enc.items.reserve(db.total_items());
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    const std::size_t begin = enc.items.size();
+    for (ItemId id : db[t]) {
+      if (rank_of[id] != kNoRank) enc.items.push_back(rank_of[id]);
+    }
+    // Items arrive ascending by id; paths must ascend by *rank*.
+    std::sort(enc.items.begin() + static_cast<std::ptrdiff_t>(begin),
+              enc.items.end());
+    enc.offsets.push_back(static_cast<std::uint32_t>(enc.items.size()));
+  }
+
+  if (with_tids) {
+    enc.tid_offsets.resize(enc.num_ranks() + 1, 0);
+    for (std::uint32_t r = 0; r < enc.num_ranks(); ++r) {
+      enc.tid_offsets[r + 1] =
+          enc.tid_offsets[r] + static_cast<std::uint32_t>(enc.count_of_rank[r]);
+    }
+    enc.tids.resize(enc.tid_offsets.back());
+    std::vector<std::uint32_t> cursor(enc.tid_offsets.begin(),
+                                      enc.tid_offsets.end() - 1);
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      for (std::uint32_t r : enc.transaction(t)) {
+        enc.tids[cursor[r]++] = static_cast<std::uint32_t>(t);
+      }
+    }
+  }
+  return enc;
 }
 
 }  // namespace gpumine::core

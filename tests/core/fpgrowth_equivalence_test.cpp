@@ -1,0 +1,100 @@
+// Equivalence of the arena-allocated flat FP-tree layout against an
+// independent reference. Eclat's vertical tid-list miner shares no tree
+// code with FP-Growth (only the rank encoding), so byte-identical
+// archives across all three synthetic traces — PAI, Philly, SuperCloud —
+// and across 1/2/8-thread schedules pin down the flat layout's counts
+// end to end. Also asserts the arena observability the layout adds.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+#include "analysis/trace_configs.hpp"
+#include "analysis/workflow.hpp"
+#include "core/eclat.hpp"
+#include "core/fpgrowth.hpp"
+#include "core/serialize.hpp"
+#include "synth/pai.hpp"
+#include "synth/philly.hpp"
+#include "synth/supercloud.hpp"
+
+namespace gpumine::core {
+namespace {
+
+std::string archive_bytes(const MiningResult& result,
+                          const ItemCatalog& catalog) {
+  std::ostringstream out;
+  save_mining_result(result, catalog, out);
+  return out.str();
+}
+
+struct EncodedTrace {
+  TransactionDb db;
+  ItemCatalog catalog;
+};
+
+// FP-Growth at 1, 2 and 8 threads must reproduce the Eclat reference
+// byte for byte (archives carry every item id and count).
+void check_against_eclat(const EncodedTrace& trace, const char* label) {
+  MiningParams base;
+  base.min_support = 0.05;
+  base.max_length = 5;
+  base.num_threads = 1;
+  const auto reference = mine_eclat(trace.db, base);
+  ASSERT_FALSE(reference.itemsets.empty()) << label;
+  const std::string expected = archive_bytes(reference, trace.catalog);
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    MiningParams params = base;
+    params.num_threads = threads;
+    const auto mined = mine_fpgrowth(trace.db, params);
+    EXPECT_EQ(archive_bytes(mined, trace.catalog), expected)
+        << label << " threads=" << threads;
+  }
+}
+
+TEST(FpGrowthEquivalence, MatchesEclatOnPai) {
+  synth::PaiConfig config;
+  config.num_jobs = 2500;
+  const auto prepared = analysis::prepare(synth::generate_pai(config).merged(),
+                                          analysis::pai_config());
+  check_against_eclat({prepared.db, prepared.catalog}, "pai");
+}
+
+TEST(FpGrowthEquivalence, MatchesEclatOnPhilly) {
+  synth::PhillyConfig config;
+  config.num_jobs = 2500;
+  const auto prepared = analysis::prepare(
+      synth::generate_philly(config).merged(), analysis::philly_config());
+  check_against_eclat({prepared.db, prepared.catalog}, "philly");
+}
+
+TEST(FpGrowthEquivalence, MatchesEclatOnSupercloud) {
+  synth::SuperCloudConfig config;
+  config.num_jobs = 2500;
+  const auto prepared =
+      analysis::prepare(synth::generate_supercloud(config).merged(),
+                        analysis::supercloud_config());
+  check_against_eclat({prepared.db, prepared.catalog}, "supercloud");
+}
+
+TEST(FpGrowthEquivalence, ReportsArenaMetrics) {
+  synth::PaiConfig config;
+  config.num_jobs = 2500;
+  const auto prepared = analysis::prepare(synth::generate_pai(config).merged(),
+                                          analysis::pai_config());
+  MiningParams params;
+  params.num_threads = 1;
+  const auto mined = mine_fpgrowth(prepared.db, params);
+  EXPECT_GT(mined.metrics.arena_bytes_allocated, 0u);
+  EXPECT_GT(mined.metrics.arena_bytes_reused, 0u)
+      << "conditional trees must recycle arenas, not allocate fresh ones";
+  EXPECT_GE(mined.metrics.peak_arena_bytes,
+            mined.metrics.arena_bytes_allocated);
+  EXPECT_GT(mined.metrics.peak_tree_nodes, 0u);
+  EXPECT_GT(mined.metrics.child_probe_count, 0u);
+}
+
+}  // namespace
+}  // namespace gpumine::core
