@@ -1,0 +1,267 @@
+// Rule-stage performance: SupportIndex construction, serial vs sharded
+// rule generation, and the bucketed keyword pruner (google-benchmark).
+//
+// Complements perf_mining.cpp (which covers the frequent-itemset stage):
+// this binary times everything downstream of MiningResult — the Sec.
+// III-B rule computation and the Sec. III-D four-condition pruning — and
+// doubles as the CI bench-smoke for the rule pipeline, emitting one
+// BENCH_*.json trajectory record per PR. The smoke run also re-checks
+// the determinism contract: the parallel generator's output must equal
+// the serial one's exactly, or the process exits non-zero.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <thread>
+
+#include "core/fpgrowth.hpp"
+#include "core/pruning.hpp"
+#include "core/rules.hpp"
+#include "core/support_index.hpp"
+#include "trace/rng.hpp"
+
+namespace {
+
+using namespace gpumine;
+
+// Random database shaped like an encoded job trace: `items` features
+// with skewed inclusion probabilities, plus injected co-occurrence
+// patterns so the rule stage sees realistic dependent structure (same
+// generator family as perf_mining.cpp).
+core::TransactionDb make_db(std::size_t num_txns, core::ItemId items,
+                            double density, std::uint64_t seed) {
+  trace::Rng rng(seed);
+  std::vector<double> p(items);
+  for (auto& v : p) v = rng.uniform(0.2, 1.0) * density;
+  std::vector<core::Itemset> patterns;
+  for (int k = 0; k < 5; ++k) {
+    core::Itemset pattern;
+    for (int j = 0; j < 4; ++j) {
+      pattern.push_back(
+          static_cast<core::ItemId>(rng.uniform_int(0, items - 1)));
+    }
+    core::canonicalize(pattern);
+    patterns.push_back(std::move(pattern));
+  }
+  core::TransactionDb db;
+  for (std::size_t t = 0; t < num_txns; ++t) {
+    core::Itemset txn;
+    for (core::ItemId i = 0; i < items; ++i) {
+      if (rng.bernoulli(p[i])) txn.push_back(i);
+    }
+    if (rng.bernoulli(0.35)) {
+      const auto& pattern = patterns[rng.uniform_int(0, patterns.size() - 1)];
+      txn.insert(txn.end(), pattern.begin(), pattern.end());
+    }
+    db.add(std::move(txn));
+  }
+  return db;
+}
+
+core::MiningResult mine_fixture(std::size_t num_txns, double min_support) {
+  const auto db = make_db(num_txns, 36, 0.45, 7);
+  core::MiningParams p;
+  p.min_support = min_support;
+  p.max_length = 5;
+  return core::mine_fpgrowth(db, p);
+}
+
+bool same_rules(const std::vector<core::Rule>& a,
+                const std::vector<core::Rule>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].antecedent != b[i].antecedent ||
+        a[i].consequent != b[i].consequent || a[i].count != b[i].count ||
+        a[i].support != b[i].support || a[i].confidence != b[i].confidence ||
+        a[i].lift != b[i].lift) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Best-of-three wall clock for one generate_rules configuration.
+double generation_ms(const core::MiningResult& mined,
+                     const core::SupportIndex& index,
+                     const core::RuleParams& rp,
+                     std::vector<core::Rule>* last = nullptr) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto rules = core::generate_rules(mined, rp, index);
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(end - begin).count());
+    if (last) *last = std::move(rules);
+  }
+  return best;
+}
+
+// CI bench-smoke for the rule stage. Mines once, then times serial vs
+// sharded generation (asserting exact equality) and the bucketed pruner,
+// and writes one BENCH_*.json trajectory record. Returns an exit code.
+int run_bench_smoke(const char* path, long pr, const char* commit) {
+  const auto mined = mine_fixture(10000, 0.04);
+  const core::SupportIndex index(mined);
+  const std::size_t threads =
+      std::max<std::size_t>(4, std::thread::hardware_concurrency());
+
+  core::RuleParams serial;
+  serial.min_lift = 1.2;
+  serial.num_threads = 1;
+  core::RuleParams parallel = serial;
+  parallel.num_threads = threads;
+
+  std::vector<core::Rule> serial_rules;
+  const double serial_ms = generation_ms(mined, index, serial, &serial_rules);
+  std::vector<core::Rule> parallel_rules;
+  const double parallel_ms =
+      generation_ms(mined, index, parallel, &parallel_rules);
+  if (!same_rules(serial_rules, parallel_rules)) {
+    std::fprintf(stderr,
+                 "FAIL: parallel rule generation diverged from serial "
+                 "(%zu vs %zu rules)\n",
+                 parallel_rules.size(), serial_rules.size());
+    return 1;
+  }
+
+  const auto keyed = core::filter_keyword(serial_rules, /*keyword=*/0);
+  core::PruneStats stats;
+  double prune_ms = 1e300;
+  std::size_t kept = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto begin = std::chrono::steady_clock::now();
+    const auto out = core::prune_rules(keyed, 0, core::PruneParams{}, &stats);
+    const auto end = std::chrono::steady_clock::now();
+    prune_ms = std::min(
+        prune_ms,
+        std::chrono::duration<double, std::milli>(end - begin).count());
+    kept = out.size();
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"pr\":%ld,\"commit\":\"%s\",\"rules\":%zu,"
+               "\"serial_rules_ms\":%.3f,\"parallel_rules_ms\":%.3f,"
+               "\"rule_speedup\":%.3f,\"prune_input\":%zu,"
+               "\"prune_kept\":%zu,\"prune_ms\":%.3f,"
+               "\"prune_buckets\":%zu,\"prune_max_bucket\":%zu,"
+               "\"prune_pair_comparisons\":%zu}\n",
+               pr, commit, serial_rules.size(), serial_ms, parallel_ms,
+               serial_ms / parallel_ms, keyed.size(), kept, prune_ms,
+               stats.num_buckets, stats.max_bucket, stats.pair_comparisons);
+  std::fclose(out);
+  std::printf(
+      "bench-smoke: %zu rules, serial %.3f ms, parallel %.3f ms (x%zu "
+      "workers), prune %zu -> %zu in %.3f ms (%zu pair tests) -> %s\n",
+      serial_rules.size(), serial_ms, parallel_ms, threads, keyed.size(),
+      kept, prune_ms, stats.pair_comparisons, path);
+  return 0;
+}
+
+void BM_SupportIndexBuild(benchmark::State& state) {
+  const auto mined =
+      mine_fixture(static_cast<std::size_t>(state.range(0)), 0.05);
+  std::size_t entries = 0;
+  for (auto _ : state) {
+    const core::SupportIndex index(mined);
+    entries = index.size();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_SupportIndexBuild)
+    ->Arg(2000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const auto mined = mine_fixture(10000, 0.04);
+  const core::SupportIndex index(mined);
+  core::RuleParams rp;
+  rp.min_lift = 1.2;
+  rp.num_threads = static_cast<std::size_t>(state.range(0));
+  std::size_t rules = 0;
+  for (auto _ : state) {
+    const auto out = core::generate_rules(mined, rp, index);
+    rules = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_RuleGeneration)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// Legacy entry point: rebuilds the support index on every call, which is
+// what every caller paid before the index was hoisted out.
+void BM_RuleGenerationRebuildIndex(benchmark::State& state) {
+  const auto mined = mine_fixture(10000, 0.04);
+  core::RuleParams rp;
+  rp.min_lift = 1.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_rules(mined, rp));
+  }
+}
+BENCHMARK(BM_RuleGenerationRebuildIndex)->Unit(benchmark::kMillisecond);
+
+void BM_BucketedPruning(benchmark::State& state) {
+  const auto mined = mine_fixture(10000, 0.04);
+  const core::SupportIndex index(mined);
+  core::RuleParams rp;
+  rp.min_lift = 1.0;  // larger input set for the pruner
+  const auto all = core::generate_rules(mined, rp, index);
+  const auto keyed = core::filter_keyword(all, /*keyword=*/0);
+  core::PruneStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::prune_rules(keyed, 0, core::PruneParams{}, &stats));
+  }
+  state.counters["input_rules"] = static_cast<double>(keyed.size());
+  state.counters["kept_rules"] = static_cast<double>(stats.kept);
+  state.counters["pair_comparisons"] =
+      static_cast<double>(stats.pair_comparisons);
+}
+BENCHMARK(BM_BucketedPruning)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Custom main, mirroring perf_mining.cpp: `--smoke-json=PATH
+// [--smoke-pr=N] [--smoke-commit=SHA]` runs only the CI bench-smoke and
+// writes the trajectory record there; otherwise the google-benchmark
+// suite runs.
+int main(int argc, char** argv) {
+  const char* smoke_json = nullptr;
+  long smoke_pr = 0;
+  const char* smoke_commit = "unknown";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--smoke-json=")) {
+      smoke_json = argv[i] + std::string_view("--smoke-json=").size();
+    } else if (arg.starts_with("--smoke-pr=")) {
+      smoke_pr = std::strtol(argv[i] + std::string_view("--smoke-pr=").size(),
+                             nullptr, 10);
+    } else if (arg.starts_with("--smoke-commit=")) {
+      smoke_commit = argv[i] + std::string_view("--smoke-commit=").size();
+    }
+  }
+  if (smoke_json != nullptr) {
+    return run_bench_smoke(smoke_json, smoke_pr, smoke_commit);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

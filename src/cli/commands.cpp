@@ -79,6 +79,8 @@ Result<LoadedTrace> load_trace(const Args& args) {
   config.mining.min_support = min_support.value();
   config.mining.max_length = static_cast<std::size_t>(max_length.value());
   config.mining.num_threads = static_cast<std::size_t>(threads.value());
+  // Rule generation shards across the same worker count as mining.
+  config.rules.num_threads = config.mining.num_threads;
   config.rules.min_lift = min_lift.value();
   config.pruning.c_lift = c_lift.value();
   config.pruning.c_supp = c_supp.value();
@@ -291,15 +293,18 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
     const auto min_lift = args.get_double("min-lift", 1.5);
     const auto c_lift = args.get_double("c-lift", 1.5);
     const auto c_supp = args.get_double("c-supp", 1.5);
-    if (!min_lift.ok() || !c_lift.ok() || !c_supp.ok()) {
+    const auto threads = args.get_uint("threads", 1);
+    if (!min_lift.ok() || !c_lift.ok() || !c_supp.ok() || !threads.ok()) {
       err << (!min_lift.ok() ? min_lift.error()
               : !c_lift.ok() ? c_lift.error()
-                             : c_supp.error())
+              : !c_supp.ok() ? c_supp.error()
+                             : threads.error())
                  .to_string()
           << "\n";
       return 2;
     }
     config.rules.min_lift = min_lift.value();
+    config.rules.num_threads = static_cast<std::size_t>(threads.value());
     config.pruning.c_lift = c_lift.value();
     config.pruning.c_supp = c_supp.value();
     core::LoadedMiningResult archive = std::move(loaded).value();
@@ -332,6 +337,7 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
   }
   const auto analysis = core::analyze_keyword(result, *keyword_id,
                                               config.rules, config.pruning);
+  if (stats) out << analysis.stage.summary();
   if (format == "table") {
     analysis::RuleTableOptions options;
     options.max_cause = max_rows.value();

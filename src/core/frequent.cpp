@@ -30,6 +30,47 @@ void MiningParams::validate() const {
                     "spawn_cutoff_nodes must be >= 1");
 }
 
+bool RuleStageMetrics::populated() const {
+  return candidate_rules > 0 || rules_generated > 0 ||
+         generation_seconds > 0.0 || prune_seconds > 0.0;
+}
+
+std::string RuleStageMetrics::summary() const {
+  std::ostringstream out;
+  out << "rule stage:\n"
+      << "  threads:        " << num_threads << "\n"
+      << "  itemsets >= 2:  " << itemsets_considered << "\n"
+      << "  splits tried:   " << candidate_rules << "\n"
+      << "  generated:      " << rules_generated << " ("
+      << generation_seconds * 1e3 << " ms)\n"
+      << "  pruning:        kept " << rules_kept << " ("
+      << prune_seconds * 1e3 << " ms)\n"
+      << "  pruned by cond: 1:" << pruned_by_condition[0]
+      << " 2:" << pruned_by_condition[1] << " 3:" << pruned_by_condition[2]
+      << " 4:" << pruned_by_condition[3] << "\n"
+      << "  prune buckets:  " << prune_buckets << " (max "
+      << prune_max_bucket << ", " << prune_pair_comparisons
+      << " pair tests)\n";
+  return out.str();
+}
+
+std::string RuleStageMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"num_threads\":" << num_threads
+      << ",\"itemsets_considered\":" << itemsets_considered
+      << ",\"candidate_rules\":" << candidate_rules
+      << ",\"rules_generated\":" << rules_generated
+      << ",\"rules_kept\":" << rules_kept << ",\"pruned_by_condition\":["
+      << pruned_by_condition[0] << "," << pruned_by_condition[1] << ","
+      << pruned_by_condition[2] << "," << pruned_by_condition[3] << "]"
+      << ",\"prune_buckets\":" << prune_buckets
+      << ",\"prune_max_bucket\":" << prune_max_bucket
+      << ",\"prune_pair_comparisons\":" << prune_pair_comparisons
+      << ",\"generation_seconds\":" << generation_seconds
+      << ",\"prune_seconds\":" << prune_seconds << "}";
+  return out.str();
+}
+
 std::string MiningMetrics::summary() const {
   std::ostringstream out;
   out << "mining stats:\n"
@@ -60,6 +101,7 @@ std::string MiningMetrics::summary() const {
     }
     out << "\n";
   }
+  if (rule_stage.populated()) out << rule_stage.summary();
   return out.str();
 }
 
@@ -84,7 +126,7 @@ std::string MiningMetrics::to_json() const {
     if (i > 0) out << ",";
     out << depth_histogram[i];
   }
-  out << "]}";
+  out << "],\"rule_stage\":" << rule_stage.to_json() << "}";
   return out.str();
 }
 

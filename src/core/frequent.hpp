@@ -5,6 +5,7 @@
 // to keep the rule space interpretable (Sec. III-D).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -45,6 +46,39 @@ struct FrequentItemset {
   std::uint64_t count;  // sigma(items)
 };
 
+/// Observability counters for the downstream rule stage — rule
+/// generation (Sec. III-B) and keyword pruning (Sec. III-D) — filled by
+/// `generate_rules` / `prune_rules` via `analyze_keyword` and rendered
+/// as part of `mine --stats` and the `bench/perf_rules` JSON. All
+/// fields are zero until a rule stage has run; see docs/RULES.md for
+/// the schema.
+struct RuleStageMetrics {
+  std::size_t num_threads = 1;            // rule-generation shard width
+  std::uint64_t itemsets_considered = 0;  // itemsets with >= 2 items
+  std::uint64_t candidate_rules = 0;      // antecedent/consequent splits
+  std::uint64_t rules_generated = 0;      // passed confidence/lift floors
+  std::uint64_t rules_kept = 0;           // survivors of Conditions 1-4
+  /// Rules removed by pruning condition i (index i-1); a rule pruned by
+  /// several conditions counts once per condition that fired.
+  std::array<std::uint64_t, 4> pruned_by_condition{0, 0, 0, 0};
+  /// Shape of the pruning candidate index: buckets across both passes,
+  /// the largest single bucket, and nested-pair subset tests performed.
+  std::uint64_t prune_buckets = 0;
+  std::uint64_t prune_max_bucket = 0;
+  std::uint64_t prune_pair_comparisons = 0;
+  double generation_seconds = 0.0;  // generate_rules wall time
+  double prune_seconds = 0.0;       // prune_rules wall time
+
+  /// True once any rule-stage work has been recorded.
+  [[nodiscard]] bool populated() const;
+
+  /// Human-readable block appended to MiningMetrics::summary().
+  [[nodiscard]] std::string summary() const;
+
+  /// Single-line JSON object (embedded by MiningMetrics::to_json).
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// Observability counters for one mining run, filled by the algorithms
 /// that use the work-stealing scheduler (FP-Growth, Eclat, partitioned).
 /// Rendered by `gpumine mine --stats` and emitted as JSON by the bench
@@ -70,6 +104,9 @@ struct MiningMetrics {
   /// mined at depth d (top-level projections are depth 0). The last slot
   /// aggregates anything deeper.
   std::vector<std::uint64_t> depth_histogram;
+  /// Downstream rule-generation/pruning counters; zero until a rule
+  /// stage ran over this result (e.g. `mine --keyword`).
+  RuleStageMetrics rule_stage;
 
   /// Human-readable multi-line summary for `--stats`.
   [[nodiscard]] std::string summary() const;

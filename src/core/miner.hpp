@@ -8,6 +8,7 @@
 #include "core/frequent.hpp"
 #include "core/pruning.hpp"
 #include "core/rules.hpp"
+#include "core/support_index.hpp"
 #include "core/transaction_db.hpp"
 
 namespace gpumine::core {
@@ -35,11 +36,22 @@ struct KeywordAnalysis {
   std::vector<Rule> cause;           // "C" rows
   std::vector<Rule> characteristic;  // "A" rows
   PruneStats prune_stats;            // over the combined keyword rule set
+  RuleStageMetrics stage;            // generation + pruning observability
 };
 
 /// Runs rule generation + keyword filtering + pruning over an existing
-/// mining result.
+/// mining result. Builds a throwaway SupportIndex; prefer the overload
+/// below when analyzing several keywords from one mining result.
 [[nodiscard]] KeywordAnalysis analyze_keyword(const MiningResult& mined,
+                                              ItemId keyword,
+                                              const RuleParams& rule_params,
+                                              const PruneParams& prune_params);
+
+/// Same, reusing a prebuilt support index (which must have been built
+/// from `mined`) — the index is read-only, so one instance serves any
+/// number of keyword analyses and rule-generation threads.
+[[nodiscard]] KeywordAnalysis analyze_keyword(const MiningResult& mined,
+                                              const SupportIndex& index,
                                               ItemId keyword,
                                               const RuleParams& rule_params,
                                               const PruneParams& prune_params);

@@ -1,6 +1,7 @@
 #include "core/pruning.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/ensure.hpp"
 
@@ -11,6 +12,10 @@ namespace {
 bool proper_subset(const Itemset& a, const Itemset& b) {
   return a.size() < b.size() && is_subset(a, b);
 }
+
+using BucketMap =
+    std::unordered_map<Itemset, std::vector<std::size_t>, ItemsetHash,
+                       ItemsetEq>;
 
 }  // namespace
 
@@ -46,7 +51,8 @@ std::vector<Rule> prune_rules(const std::vector<Rule>& rules, ItemId keyword,
   params.validate();
   const double cl = params.c_lift;
   const double cs = params.c_supp;
-  std::vector<bool> pruned(rules.size(), false);
+  const std::size_t n = rules.size();
+  std::vector<bool> pruned(n, false);
   std::array<std::size_t, 4> by{0, 0, 0, 0};
 
   auto mark = [&](std::size_t idx, std::size_t condition) {
@@ -54,92 +60,126 @@ std::vector<Rule> prune_rules(const std::vector<Rule>& rules, ItemId keyword,
     ++by[condition - 1];
   };
 
-  // Conditions 1 and 4 compare rules with identical consequents;
-  // conditions 2 and 3 compare rules with identical antecedents. Bucket
-  // by the shared side so only candidate pairs are examined — this takes
-  // the pass from O(n^2) over all rules to O(sum of bucket^2), which is
-  // small because buckets are keyed by full itemsets.
-  std::unordered_map<Itemset, std::vector<std::size_t>, ItemsetHash, ItemsetEq>
-      by_consequent;
-  std::unordered_map<Itemset, std::vector<std::size_t>, ItemsetHash, ItemsetEq>
-      by_antecedent;
-  for (std::size_t i = 0; i < rules.size(); ++i) {
-    by_consequent[rules[i].consequent].push_back(i);
-    by_antecedent[rules[i].antecedent].push_back(i);
+  // Keyword-side membership, computed once per rule instead of once per
+  // candidate pair.
+  std::vector<char> kw_in_antecedent(n);
+  std::vector<char> kw_in_consequent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kw_in_antecedent[i] =
+        contains(rules[i].antecedent, keyword) ? char{1} : char{0};
+    kw_in_consequent[i] =
+        contains(rules[i].consequent, keyword) ? char{1} : char{0};
   }
 
-  // Same consequent, nested antecedents: Conditions 1 and 4.
-  for (const auto& [consequent, bucket] : by_consequent) {
-    const bool kw_in_consequent = contains(consequent, keyword);
-    for (std::size_t i : bucket) {
-      for (std::size_t j : bucket) {
-        if (i == j) continue;
-        const Rule& a = rules[i];  // candidate "shorter" rule
-        const Rule& b = rules[j];  // candidate "longer" rule
-        if (!proper_subset(a.antecedent, b.antecedent)) continue;
+  // Conditions 1 and 4 compare rules with identical consequents;
+  // conditions 2 and 3 compare rules with identical antecedents. Bucket
+  // by the shared side, keyed additionally by keyword relevance: a rule
+  // that holds the keyword on neither side can neither fire nor suffer
+  // any condition, so it never enters a bucket (and passes through, as
+  // the header contract promises). This takes the pass from O(n^2) over
+  // all rules to the sum of bucket^2 over keyword-relevant buckets.
+  BucketMap by_consequent;
+  BucketMap by_antecedent;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kw_in_consequent[i] != 0 || kw_in_antecedent[i] != 0) {
+      by_consequent[rules[i].consequent].push_back(i);
+      by_antecedent[rules[i].antecedent].push_back(i);
+    }
+  }
 
-        // Condition 1: cause analysis, keyword in the shared consequent.
-        if (kw_in_consequent) {
-          if (cl * a.lift >= b.lift) {
-            mark(j, 1);  // shorter rule generalizes: drop the longer one
-          } else if (cs * b.support >= a.support) {
-            mark(i, 1);  // longer rule is stronger and well supported
-          }
-        }
+  std::size_t max_bucket = 0;
+  std::size_t pair_comparisons = 0;
 
-        // Condition 4: characteristic analysis, keyword in both
-        // antecedents.
-        if (contains(a.antecedent, keyword) &&
-            contains(b.antecedent, keyword)) {
-          if (cl * a.lift >= b.lift) {
-            mark(j, 4);  // shorter antecedent generalizes
-          }
-        }
+  // Walks one bucket: orders its rules by the length of the nested side
+  // (`nested` selects it), then subset-tests only strictly-shorter
+  // against strictly-longer — equal lengths can never nest, and the
+  // ordered scan visits exactly the (shorter, longer) pairs the old
+  // all-pairs loop found. `apply(i, j)` receives a candidate nested pair.
+  auto scan_bucket = [&](std::vector<std::size_t>& bucket,
+                         const Itemset Rule::* nested, auto&& apply) {
+    max_bucket = std::max(max_bucket, bucket.size());
+    if (bucket.size() < 2) return;
+    std::sort(bucket.begin(), bucket.end(),
+              [&](std::size_t x, std::size_t y) {
+                return (rules[x].*nested).size() < (rules[y].*nested).size();
+              });
+    for (std::size_t p = 0; p < bucket.size(); ++p) {
+      for (std::size_t q = p + 1; q < bucket.size(); ++q) {
+        const std::size_t i = bucket[p];  // candidate shorter rule
+        const std::size_t j = bucket[q];  // candidate longer rule
+        if ((rules[i].*nested).size() >= (rules[j].*nested).size()) continue;
+        ++pair_comparisons;
+        if (!proper_subset(rules[i].*nested, rules[j].*nested)) continue;
+        apply(i, j);
       }
     }
+  };
+
+  // Same consequent, nested antecedents: Conditions 1 and 4.
+  for (auto& [consequent, bucket] : by_consequent) {
+    const bool kw_in_shared = contains(consequent, keyword);
+    scan_bucket(bucket, &Rule::antecedent, [&](std::size_t i, std::size_t j) {
+      const Rule& a = rules[i];  // shorter antecedent
+      const Rule& b = rules[j];  // longer antecedent
+
+      // Condition 1: cause analysis, keyword in the shared consequent.
+      if (kw_in_shared) {
+        if (cl * a.lift >= b.lift) {
+          mark(j, 1);  // shorter rule generalizes: drop the longer one
+        } else if (cs * b.support >= a.support) {
+          mark(i, 1);  // longer rule is stronger and well supported
+        }
+      }
+
+      // Condition 4: characteristic analysis, keyword in both
+      // antecedents.
+      if (kw_in_antecedent[i] != 0 && kw_in_antecedent[j] != 0) {
+        if (cl * a.lift >= b.lift) {
+          mark(j, 4);  // shorter antecedent generalizes
+        }
+      }
+    });
   }
 
   // Same antecedent, nested consequents: Conditions 2 and 3.
-  for (const auto& [antecedent, bucket] : by_antecedent) {
-    const bool kw_in_antecedent = contains(antecedent, keyword);
-    for (std::size_t i : bucket) {
-      for (std::size_t j : bucket) {
-        if (i == j) continue;
-        const Rule& a = rules[i];  // shorter consequent
-        const Rule& b = rules[j];  // longer consequent
-        if (!proper_subset(a.consequent, b.consequent)) continue;
+  for (auto& [antecedent, bucket] : by_antecedent) {
+    const bool kw_in_shared = contains(antecedent, keyword);
+    scan_bucket(bucket, &Rule::consequent, [&](std::size_t i, std::size_t j) {
+      const Rule& a = rules[i];  // shorter consequent
+      const Rule& b = rules[j];  // longer consequent
 
-        // Condition 2: characteristic analysis, keyword in the shared
-        // antecedent.
-        if (kw_in_antecedent) {
-          if (cl * b.lift >= a.lift && cs * b.support >= a.support) {
-            mark(i, 2);  // specific consequent is nearly as strong
-          } else if (cl * b.lift < a.lift) {
-            mark(j, 2);  // shorter rule clearly stronger
-          }
-        }
-
-        // Condition 3: cause analysis, keyword in both consequents.
-        if (contains(a.consequent, keyword) &&
-            contains(b.consequent, keyword)) {
-          if (cl * a.lift >= b.lift) {
-            mark(j, 3);  // concise consequent suffices for cause analysis
-          }
+      // Condition 2: characteristic analysis, keyword in the shared
+      // antecedent.
+      if (kw_in_shared) {
+        if (cl * b.lift >= a.lift && cs * b.support >= a.support) {
+          mark(i, 2);  // specific consequent is nearly as strong
+        } else if (cl * b.lift < a.lift) {
+          mark(j, 2);  // shorter rule clearly stronger
         }
       }
-    }
+
+      // Condition 3: cause analysis, keyword in both consequents.
+      if (kw_in_consequent[i] != 0 && kw_in_consequent[j] != 0) {
+        if (cl * a.lift >= b.lift) {
+          mark(j, 3);  // concise consequent suffices for cause analysis
+        }
+      }
+    });
   }
 
   std::vector<Rule> survivors;
-  for (std::size_t i = 0; i < rules.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (!pruned[i]) survivors.push_back(rules[i]);
   }
   sort_rules(survivors);
 
   if (stats != nullptr) {
-    stats->input = rules.size();
+    stats->input = n;
     stats->kept = survivors.size();
     stats->pruned_by = by;
+    stats->num_buckets = by_consequent.size() + by_antecedent.size();
+    stats->max_bucket = max_bucket;
+    stats->pair_comparisons = pair_comparisons;
   }
   return survivors;
 }

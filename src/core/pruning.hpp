@@ -2,10 +2,10 @@
 //
 // The analyst picks a *keyword* item K (e.g. "SM Util = 0%" or "Failed").
 // Rules with K in the consequent support cause analysis; K in the
-// antecedent, characteristic analysis. Four pairwise redundancy
-// conditions then remove rules that a shorter or more informative
-// sibling dominates, controlled by the slack factors C_lift and C_supp
-// (both >= 1; paper uses 1.5):
+// antecedent, characteristic analysis. Four redundancy conditions then
+// remove rules that a shorter or more informative sibling dominates,
+// controlled by the slack factors C_lift and C_supp (both >= 1; paper
+// uses 1.5):
 //
 //  Cond 1 (cause, nested antecedents Xi ⊂ Xj, same consequent Y ∋ K):
 //    keep the shorter rule if its lift is within C_lift of the longer
@@ -20,9 +20,22 @@
 //  Cond 4 (characteristic, nested antecedents both containing K, same
 //    consequent): prefer the shorter antecedent when lifts are close.
 //
+// Every condition compares two rules that share one side exactly (the
+// consequent for Conds 1/4, the antecedent for Conds 2/3) and nest on
+// the other, so the implementation never scans all pairs: rules are
+// bucketed by the shared side, restricted to the keyword side each
+// condition needs (Cond 1 only fires inside buckets whose consequent
+// holds K; Conds 3/4 only between rules holding K on the nested side),
+// and each bucket is walked in increasing nested-side length so only
+// strictly-shorter-vs-longer pairs are subset-tested. PruneStats
+// records the bucket shape (count, max size, pair tests) next to the
+// per-condition attribution; docs/RULES.md walks through the scheme.
+//
 // Pruning decisions are evaluated against the *input* rule set (a pruned
 // rule can still disqualify another), which makes the result independent
-// of rule ordering — an invariant the property tests rely on.
+// of rule ordering — an invariant the property tests rely on and one the
+// bucketed pass preserves: bucketing only narrows which pairs are
+// *examined*, never which conditions *fire*.
 #pragma once
 
 #include <array>
@@ -49,9 +62,18 @@ enum class KeywordSide {
 struct PruneStats {
   std::size_t input = 0;
   std::size_t kept = 0;
-  /// Rules removed by condition i (index i-1). A rule pruned by several
-  /// conditions is attributed to each that fired.
+  /// Rules removed by condition i (index i-1), attributed per *firing*:
+  /// a rule dominated by several siblings, or caught by more than one
+  /// condition, increments every slot whose condition fired — so the
+  /// slots can sum to more than input - kept. `kept` is authoritative.
   std::array<std::size_t, 4> pruned_by{0, 0, 0, 0};
+  /// Shape of the candidate index: total buckets across the
+  /// shared-consequent and shared-antecedent passes, the largest single
+  /// bucket, and the shorter-vs-longer subset tests actually performed
+  /// (the bucketed stand-in for the old all-pairs n^2).
+  std::size_t num_buckets = 0;
+  std::size_t max_bucket = 0;
+  std::size_t pair_comparisons = 0;
 };
 
 /// Rules that contain `keyword` on the given side.

@@ -1,11 +1,57 @@
 #include "core/rules.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <iterator>
 #include <limits>
+#include <thread>
 
 #include "common/ensure.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpumine::core {
+namespace {
+
+// Per-shard enumeration output. Shards are merged in shard order and
+// re-sorted, so none of this affects the final (total) rule ordering.
+struct ShardResult {
+  std::vector<Rule> rules;
+  std::uint64_t itemsets_considered = 0;
+  std::uint64_t candidate_rules = 0;
+};
+
+// Enumerates every proper non-empty subset of `fi` as an antecedent,
+// appending the rules that pass the thresholds. `antecedent` and
+// `consequent` are caller-owned scratch buffers reused across itemsets.
+void enumerate_itemset(const FrequentItemset& fi, const SupportIndex& index,
+                       const RuleParams& params, std::uint64_t db_size,
+                       Itemset& antecedent, Itemset& consequent,
+                       ShardResult& out) {
+  const std::size_t k = fi.items.size();
+  if (k < 2) return;
+  GPUMINE_ENSURE(k < 64, "itemset too long for mask enumeration");
+  ++out.itemsets_considered;
+  const std::uint64_t full = (1ull << k) - 1;
+  for (std::uint64_t mask = 1; mask < full; ++mask) {
+    antecedent.clear();
+    consequent.clear();
+    for (std::size_t bit = 0; bit < k; ++bit) {
+      ((mask >> bit) & 1 ? antecedent : consequent).push_back(fi.items[bit]);
+    }
+    ++out.candidate_rules;
+    const auto a = index.find(std::span<const ItemId>(antecedent));
+    const auto c = index.find(std::span<const ItemId>(consequent));
+    GPUMINE_ENSURE(a.has_value() && c.has_value(),
+                   "subset of a frequent itemset missing from support index");
+    Rule rule = make_rule(antecedent, consequent, fi.count, *a, *c, db_size);
+    if (rule.confidence + 1e-12 >= params.min_confidence &&
+        rule.lift + 1e-12 >= params.min_lift) {
+      out.rules.push_back(std::move(rule));
+    }
+  }
+}
+
+}  // namespace
 
 void RuleParams::validate() const {
   GPUMINE_CHECK_ARG(min_confidence >= 0.0 && min_confidence <= 1.0,
@@ -51,40 +97,83 @@ void sort_rules(std::vector<Rule>& rules) {
 }
 
 std::vector<Rule> generate_rules(const MiningResult& mined,
-                                 const RuleParams& params) {
+                                 const RuleParams& params,
+                                 const SupportIndex& index,
+                                 RuleStageMetrics* metrics) {
   params.validate();
-  std::vector<Rule> rules;
-  if (mined.db_size == 0) return rules;
-  const SupportMap supports = mined.support_map();
+  const auto begin = std::chrono::steady_clock::now();
+  std::size_t threads = params.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
 
-  Itemset antecedent;
-  Itemset consequent;
-  for (const auto& fi : mined.itemsets) {
-    const std::size_t k = fi.items.size();
-    if (k < 2) continue;
-    GPUMINE_ENSURE(k < 64, "itemset too long for mask enumeration");
-    const std::uint64_t full = (1ull << k) - 1;
-    // Every proper non-empty subset as antecedent.
-    for (std::uint64_t mask = 1; mask < full; ++mask) {
-      antecedent.clear();
-      consequent.clear();
-      for (std::size_t bit = 0; bit < k; ++bit) {
-        ((mask >> bit) & 1 ? antecedent : consequent).push_back(fi.items[bit]);
+  std::vector<Rule> rules;
+  std::uint64_t itemsets_considered = 0;
+  std::uint64_t candidates = 0;
+  if (mined.db_size > 0 && !mined.itemsets.empty()) {
+    if (threads <= 1 || mined.itemsets.size() < 2) {
+      ShardResult shard;
+      Itemset antecedent;
+      Itemset consequent;
+      for (const auto& fi : mined.itemsets) {
+        enumerate_itemset(fi, index, params, mined.db_size, antecedent,
+                          consequent, shard);
       }
-      const auto a_it = supports.find(std::span<const ItemId>(antecedent));
-      const auto c_it = supports.find(std::span<const ItemId>(consequent));
-      GPUMINE_ENSURE(a_it != supports.end() && c_it != supports.end(),
-                     "subset of a frequent itemset missing from support map");
-      Rule rule = make_rule(antecedent, consequent, fi.count, a_it->second,
-                            c_it->second, mined.db_size);
-      if (rule.confidence + 1e-12 >= params.min_confidence &&
-          rule.lift + 1e-12 >= params.min_lift) {
-        rules.push_back(std::move(rule));
+      rules = std::move(shard.rules);
+      itemsets_considered = shard.itemsets_considered;
+      candidates = shard.candidate_rules;
+    } else {
+      // Contiguous shards, several per worker: itemsets are sorted by
+      // length, so the expensive 2^k enumerations cluster at the tail —
+      // over-decomposition lets the work-stealing pool rebalance them.
+      const std::size_t num_shards =
+          std::min(mined.itemsets.size(), threads * 4);
+      std::vector<ShardResult> shards(num_shards);
+      ThreadPool pool(threads);
+      pool.parallel_for(num_shards, [&](std::size_t s) {
+        const std::size_t lo = mined.itemsets.size() * s / num_shards;
+        const std::size_t hi = mined.itemsets.size() * (s + 1) / num_shards;
+        Itemset antecedent;
+        Itemset consequent;
+        for (std::size_t i = lo; i < hi; ++i) {
+          enumerate_itemset(mined.itemsets[i], index, params, mined.db_size,
+                            antecedent, consequent, shards[s]);
+        }
+      });
+      std::size_t total = 0;
+      for (const ShardResult& s : shards) total += s.rules.size();
+      rules.reserve(total);
+      for (ShardResult& s : shards) {
+        itemsets_considered += s.itemsets_considered;
+        candidates += s.candidate_rules;
+        std::move(s.rules.begin(), s.rules.end(), std::back_inserter(rules));
       }
     }
   }
+  // sort_rules is a total order (ties broken by the unique
+  // antecedent/consequent pair), so the merged output is byte-identical
+  // to the serial path for any shard decomposition.
   sort_rules(rules);
+
+  if (metrics != nullptr) {
+    metrics->num_threads = threads;
+    metrics->itemsets_considered = itemsets_considered;
+    metrics->candidate_rules = candidates;
+    metrics->rules_generated = rules.size();
+    metrics->generation_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+  }
   return rules;
+}
+
+std::vector<Rule> generate_rules(const MiningResult& mined,
+                                 const RuleParams& params) {
+  params.validate();
+  if (mined.db_size == 0) return {};
+  const SupportIndex index(mined);
+  return generate_rules(mined, params, index);
 }
 
 }  // namespace gpumine::core

@@ -18,6 +18,7 @@
 
 #include "core/frequent.hpp"
 #include "core/itemset.hpp"
+#include "core/support_index.hpp"
 
 namespace gpumine::core {
 
@@ -38,15 +39,33 @@ struct RuleParams {
   double min_confidence = 0.0;
   /// Keep rules with lift >= this. Paper default: 1.5 (Sec. III-D).
   double min_lift = 1.5;
+  /// Worker threads for rule generation: the frequent itemsets are
+  /// sharded across the work-stealing pool, each shard enumerates into
+  /// its own buffer, and the merged output is re-sorted — byte-identical
+  /// to the serial path for any thread count. 0 = hardware concurrency,
+  /// 1 = sequential (no pool is created).
+  std::size_t num_threads = 1;
 
   void validate() const;
 };
 
 /// Generates every rule derivable from `mined.itemsets` that passes the
 /// thresholds. Output order is deterministic: descending lift, then
-/// descending support, then lexicographic (antecedent, consequent).
+/// descending support, then lexicographic (antecedent, consequent) —
+/// independent of `params.num_threads`. Builds a throwaway SupportIndex
+/// internally; callers generating rules for several keywords from one
+/// mining result should build the index once and use the overload below.
 [[nodiscard]] std::vector<Rule> generate_rules(const MiningResult& mined,
                                                const RuleParams& params);
+
+/// Same, but reuses a prebuilt `index` (which must have been built from
+/// `mined`) and optionally records stage observability into `metrics`
+/// (shard width, splits evaluated, wall time).
+[[nodiscard]] std::vector<Rule> generate_rules(const MiningResult& mined,
+                                               const RuleParams& params,
+                                               const SupportIndex& index,
+                                               RuleStageMetrics* metrics =
+                                                   nullptr);
 
 /// Recomputes all metrics of a rule from raw counts — shared by the
 /// generator and by tests that validate metrics against the scan oracle.

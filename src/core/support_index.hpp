@@ -1,0 +1,62 @@
+// Read-only support lookup shared across the whole rule stage.
+//
+// MiningResult::support_map() materializes a fresh hash table on every
+// call, yet rule generation (Sec. III-B), keyword pruning (Sec. III-D)
+// and the measures.hpp contingency builders all need exactly the same
+// sigma(X) lookups. SupportIndex builds the table once from a mining
+// result and is immutable afterwards, so one instance can back rule
+// generation for any number of keywords — and can be read concurrently
+// by the rule-generation worker shards without locking.
+//
+// Anti-monotonicity guarantees every subset of a frequent itemset is
+// itself frequent, so count() treats a miss as a logic error; find()
+// is the forgiving variant for itemsets that may be below the floor.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/frequent.hpp"
+#include "core/itemset.hpp"
+#include "core/measures.hpp"
+
+namespace gpumine::core {
+
+class SupportIndex {
+ public:
+  /// Empty index over an empty database; count() throws on any lookup.
+  SupportIndex() = default;
+
+  /// Indexes every itemset of `mined` (linear in output size).
+  explicit SupportIndex(const MiningResult& mined);
+
+  [[nodiscard]] std::uint64_t db_size() const { return db_size_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+
+  /// Support count of a canonical itemset, or nullopt when it was not
+  /// among the mined frequent itemsets.
+  [[nodiscard]] std::optional<std::uint64_t> find(
+      std::span<const ItemId> items) const;
+
+  /// Support count of an itemset known to be frequent. Throws
+  /// std::logic_error on a miss.
+  [[nodiscard]] std::uint64_t count(std::span<const ItemId> items) const;
+
+  /// supp(items) = sigma(items) / |D|; 0 for an empty database.
+  [[nodiscard]] double support(std::span<const ItemId> items) const;
+
+  /// Contingency counts for a rule X => Y (canonical, disjoint, both
+  /// frequent) ready for measures.hpp: sigma(X), sigma(Y), sigma(XY),
+  /// |D|. The joint lookup takes the union internally.
+  [[nodiscard]] ContingencyCounts contingency(
+      std::span<const ItemId> antecedent,
+      std::span<const ItemId> consequent) const;
+
+ private:
+  SupportMap map_;
+  std::uint64_t db_size_ = 0;
+};
+
+}  // namespace gpumine::core

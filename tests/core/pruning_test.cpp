@@ -187,6 +187,67 @@ TEST(PruneRules, OrderIndependence) {
   }
 }
 
+// Scaled variant exercising the bucketed pass: four rule families (one
+// per condition) built over every non-empty subset of a five-item pool,
+// plus keyword-less pass-through rules — ~130 rules in dozens of
+// buckets. The survivor set must not depend on input order, and the
+// bucket stats must show the scan actually narrowed below all-pairs.
+TEST(PruneRules, OrderIndependenceAtScaleBucketed) {
+  std::mt19937 gen(7);
+  auto count_between = [&](std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen);
+  };
+  const std::vector<ItemId> pool = {1, 2, 3, 4, 5};
+  std::vector<Rule> rules;
+  for (std::uint32_t mask = 1; mask < (1u << pool.size()); ++mask) {
+    Itemset side;
+    for (std::size_t b = 0; b < pool.size(); ++b) {
+      if ((mask >> b) & 1) side.push_back(pool[b]);
+    }
+    Itemset with_kw = side;
+    with_kw.push_back(kKeyword);  // pool ids < kKeyword: stays canonical
+    const std::uint64_t joint = count_between(10, 50);
+    const std::uint64_t sx = count_between(60, 200);
+    // Condition 1 family: nested antecedents, shared consequent {K}.
+    rules.push_back(rule(side, {kKeyword}, joint, sx, 250));
+    // Condition 4 family: nested antecedents holding K, shared {7}.
+    rules.push_back(rule(with_kw, {7}, joint, sx, 300));
+    // Condition 2 family: shared antecedent {K}, nested consequents.
+    rules.push_back(rule({kKeyword}, side, joint, 220, sx));
+    // Condition 3 family: shared antecedent {6}, nested consequents
+    // holding K.
+    rules.push_back(rule({6}, with_kw, joint, 180, sx));
+    // Keyword-less pass-through (only for a few masks).
+    if (mask % 8 == 0) rules.push_back(rule(side, {8}, joint, sx, 150));
+  }
+
+  PruneStats baseline_stats;
+  const auto baseline =
+      prune_rules(rules, kKeyword, PruneParams{}, &baseline_stats);
+  EXPECT_GT(baseline_stats.num_buckets, 4u);
+  EXPECT_GE(baseline_stats.max_bucket, 2u);
+  EXPECT_GT(baseline_stats.pair_comparisons, 0u);
+  // The bucketed scan must examine far fewer pairs than n * (n-1) / 2.
+  const std::size_t n = rules.size();
+  EXPECT_LT(baseline_stats.pair_comparisons, n * (n - 1) / 2);
+  EXPECT_LT(baseline_stats.kept, baseline_stats.input);
+
+  std::mt19937 shuffler(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(rules.begin(), rules.end(), shuffler);
+    PruneStats stats;
+    const auto out = prune_rules(rules, kKeyword, PruneParams{}, &stats);
+    ASSERT_EQ(out.size(), baseline.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].antecedent, baseline[i].antecedent);
+      EXPECT_EQ(out[i].consequent, baseline[i].consequent);
+    }
+    // Firing is order-independent, so the attribution counters are too.
+    EXPECT_EQ(stats.pruned_by, baseline_stats.pruned_by)
+        << "trial " << trial;
+  }
+}
+
 TEST(PruneRules, StatsArePopulated) {
   const std::vector<Rule> rules = {
       rule({1}, {kKeyword}, 30, 100, 200),

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (stdlib only; run from anywhere).
+
+Two classes of rot this catches:
+
+1. Broken relative links: every ``[text](path)`` in README.md and
+   docs/*.md whose target is a repo-relative path must resolve to an
+   existing file or directory. External links (http/https/mailto),
+   pure anchors (``#section``) and paths escaping the repo root (e.g.
+   the CI badge's ``../../actions`` URL) are skipped.
+
+2. Phantom examples: every ``examples/<name>.cpp`` mentioned anywhere
+   in the checked documents must exist on disk AND be registered in
+   examples/CMakeLists.txt, so documented examples always build.
+
+Exit code 0 when clean, 1 with one line per problem otherwise.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) — target up to the first closing paren (no nesting in
+# our docs); images ![alt](target) match the same pattern.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXAMPLE = re.compile(r"examples/([A-Za-z0-9_]+)\.cpp")
+
+
+def checked_documents():
+    docs = [REPO / "README.md"]
+    docs.extend(sorted((REPO / "docs").glob("*.md")))
+    return [d for d in docs if d.is_file()]
+
+
+def check_links(doc, problems):
+    text = doc.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]  # drop anchors on relative links
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.is_relative_to(REPO):
+            continue  # escapes the repo (e.g. GitHub-relative badge URL)
+        if not resolved.exists():
+            problems.append(
+                f"{doc.relative_to(REPO)}: broken link '{target}'"
+            )
+
+
+def check_examples(doc, problems, registered):
+    text = doc.read_text(encoding="utf-8")
+    for name in sorted(set(EXAMPLE.findall(text))):
+        source = REPO / "examples" / f"{name}.cpp"
+        if not source.is_file():
+            problems.append(
+                f"{doc.relative_to(REPO)}: references missing "
+                f"examples/{name}.cpp"
+            )
+        elif name not in registered:
+            problems.append(
+                f"{doc.relative_to(REPO)}: examples/{name}.cpp is not "
+                "registered in examples/CMakeLists.txt (it will not build)"
+            )
+
+
+def main():
+    cmake = REPO / "examples" / "CMakeLists.txt"
+    registered = set(
+        re.findall(r"add_executable\((\w+)", cmake.read_text())
+    ) | set(re.findall(r"gpumine_add_example\((\w+)", cmake.read_text()))
+
+    problems = []
+    docs = checked_documents()
+    for doc in docs:
+        check_links(doc, problems)
+        check_examples(doc, problems, registered)
+
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_docs: {len(docs)} documents, {len(problems)} problem(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
