@@ -171,6 +171,18 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
   core::MiningResult mined;
   const double recursive_ms = time_ms(db, recursive, &mined);
 
+  // Regression gate: parallel dispatch must never lose to serial. Below
+  // the serial_cutoff_items work threshold the miner falls back to the
+  // serial path, so this holds even on a single-core runner.
+  const double speedup = serial_ms / recursive_ms;
+  if (speedup < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: parallel mining regressed vs serial "
+                 "(%.3f ms vs %.3f ms, speedup %.2f < 0.95)\n",
+                 recursive_ms, serial_ms, speedup);
+    return 1;
+  }
+
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -178,8 +190,9 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
   }
   std::fprintf(out,
                "{\"pr\":%ld,\"commit\":\"%s\",\"serial_ms\":%.3f,"
-               "\"recursive_ms\":%.3f,\"peak_arena_bytes\":%zu}\n",
-               pr, commit, serial_ms, recursive_ms,
+               "\"recursive_ms\":%.3f,\"speedup\":%.3f,"
+               "\"peak_arena_bytes\":%zu}\n",
+               pr, commit, serial_ms, recursive_ms, speedup,
                mined.metrics.peak_arena_bytes);
   std::fclose(out);
   std::printf("bench-smoke: serial %.3f ms, recursive %.3f ms (x%zu), "

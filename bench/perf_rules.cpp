@@ -129,6 +129,18 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
     return 1;
   }
 
+  // Regression gate: sharded generation must never lose to serial.
+  // Below serial_cutoff_itemsets the generator falls back to the serial
+  // path, so this holds even on a single-core runner.
+  const double rule_speedup = serial_ms / parallel_ms;
+  if (rule_speedup < 0.95) {
+    std::fprintf(stderr,
+                 "FAIL: sharded rule generation regressed vs serial "
+                 "(%.3f ms vs %.3f ms, speedup %.2f < 0.95)\n",
+                 parallel_ms, serial_ms, rule_speedup);
+    return 1;
+  }
+
   const auto keyed = core::filter_keyword(serial_rules, /*keyword=*/0);
   core::PruneStats stats;
   double prune_ms = 1e300;

@@ -1,8 +1,21 @@
 #include "analysis/workflow.hpp"
 
+#include <chrono>
+#include <utility>
+
 #include "common/ensure.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpumine::analysis {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+}  // namespace
 
 PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
   if (config.require_present.has_value()) {
@@ -19,10 +32,36 @@ PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
   }
 
   PreparedTrace out;
+  // Binning: fit + apply are independent per column, so they fan out
+  // over the pool; column replacement (and the spec list, which keeps
+  // config order) stays serial.
+  const auto binning_begin = std::chrono::steady_clock::now();
+  std::vector<const ColumnBinning*> todo;
   for (const ColumnBinning& b : config.binnings) {
-    if (!table.has_column(b.column)) continue;  // trace without the feature
-    out.bin_specs.emplace_back(b.column,
-                               prep::bin_column(table, b.column, b.params));
+    // Skip columns that arrived pre-binned (already categorical): the
+    // fit needs numeric values, and passing such a table through is
+    // how callers re-run prepare on partially processed traces.
+    if (table.has_column(b.column) && table.is_numeric(b.column)) {
+      todo.push_back(&b);
+    }
+  }
+  std::vector<std::pair<prep::BinSpec, prep::CategoricalColumn>> fitted(
+      todo.size());
+  const auto fit_one = [&](std::size_t i) {
+    const prep::NumericColumn& col = table.numeric(todo[i]->column);
+    prep::BinSpec spec = prep::fit_bins(col.values, todo[i]->params);
+    prep::CategoricalColumn binned = prep::apply_bins(col, spec);
+    fitted[i] = {std::move(spec), std::move(binned)};
+  };
+  if (config.prep_threads != 1 && todo.size() > 1) {
+    ThreadPool pool(config.prep_threads);
+    pool.parallel_for(todo.size(), fit_one);
+  } else {
+    for (std::size_t i = 0; i < todo.size(); ++i) fit_one(i);
+  }
+  for (std::size_t i = 0; i < todo.size(); ++i) {
+    table.replace_column(todo[i]->column, std::move(fitted[i].second));
+    out.bin_specs.emplace_back(todo[i]->column, std::move(fitted[i].first));
   }
   for (const ColumnGrouping& g : config.groupings) {
     if (!table.has_column(g.column)) continue;
@@ -32,8 +71,13 @@ PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
     if (!table.has_column(m.column)) continue;
     prep::merge_column_categories(table, m.column, m.mapping, m.fallback);
   }
+  out.prep_metrics.binning_seconds = seconds_since(binning_begin);
 
-  prep::EncodeResult encoded = prep::encode(table, config.encoder);
+  const auto encode_begin = std::chrono::steady_clock::now();
+  prep::EncoderParams encoder = config.encoder;
+  if (encoder.num_threads == 1) encoder.num_threads = config.prep_threads;
+  prep::EncodeResult encoded = prep::encode(table, encoder);
+  out.prep_metrics.encode_seconds = seconds_since(encode_begin);
   out.db = std::move(encoded.db);
   out.catalog = std::move(encoded.catalog);
   out.dropped_items = std::move(encoded.dropped_items);
@@ -43,8 +87,28 @@ PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
 MinedTrace mine(prep::Table table, const WorkflowConfig& config) {
   MinedTrace out;
   out.prepared = prepare(std::move(table), config);
-  out.mined =
-      core::mine_frequent(out.prepared.db, config.mining, config.algorithm);
+  core::PrepStageMetrics pm = out.prepared.prep_metrics;
+  pm.input_transactions = out.prepared.db.size();
+  if (config.dedup_transactions) {
+    // Mining runs over the weighted deduplicated database; support math
+    // uses total_weight(), so the result (itemsets, counts, db_size) is
+    // byte-identical to mining the expanded one. `prepared.db` keeps
+    // the full row-per-job view for downstream consumers (summaries,
+    // classifiers, validation scans).
+    const auto dedup_begin = std::chrono::steady_clock::now();
+    const core::TransactionDb deduped = out.prepared.db.dedup();
+    pm.dedup_seconds = seconds_since(dedup_begin);
+    pm.distinct_transactions = deduped.size();
+    pm.dedup_ratio = deduped.empty()
+                         ? 0.0
+                         : static_cast<double>(pm.input_transactions) /
+                               static_cast<double>(deduped.size());
+    out.mined = core::mine_frequent(deduped, config.mining, config.algorithm);
+  } else {
+    out.mined =
+        core::mine_frequent(out.prepared.db, config.mining, config.algorithm);
+  }
+  out.mined.metrics.prep_stage = pm;
   return out;
 }
 

@@ -56,6 +56,14 @@ struct WorkflowConfig {
   core::RuleParams rules{};          // min lift 1.5
   core::PruneParams pruning{};       // C_lift = C_supp = 1.5
   core::Algorithm algorithm = core::Algorithm::kFpGrowth;
+  /// Worker threads for the preprocessing stages (per-column binning,
+  /// encoder passes). 1 = serial; propagated into encoder.num_threads
+  /// unless that was set explicitly.
+  std::size_t prep_threads = 1;
+  /// Fold identical transactions into weighted rows before mining.
+  /// Support math runs over total weight, so results are byte-identical
+  /// either way; dedup only changes how much work the miner does.
+  bool dedup_transactions = true;
 };
 
 /// The preprocessed mining database plus everything needed to interpret
@@ -65,6 +73,9 @@ struct PreparedTrace {
   core::ItemCatalog catalog;
   std::vector<std::string> dropped_items;      // dominance casualties
   std::vector<std::pair<std::string, prep::BinSpec>> bin_specs;
+  /// Stage timings recorded while preparing (binning/encoding; the CLI
+  /// adds CSV time, mine() adds dedup). Copied into the mining metrics.
+  core::PrepStageMetrics prep_metrics;
 };
 
 /// Runs the preprocessing half of the workflow (Sec. III-E).

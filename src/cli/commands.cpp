@@ -7,6 +7,7 @@
 #include "core/significance.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <ostream>
 #include <sstream>
 
@@ -49,6 +50,7 @@ bool reject_unused(const Args& args, std::ostream& err) {
 struct LoadedTrace {
   prep::Table table;
   analysis::WorkflowConfig config;
+  double csv_seconds = 0.0;  // CSV parse wall time, for --stats
 };
 
 Result<LoadedTrace> load_trace(const Args& args) {
@@ -56,14 +58,7 @@ Result<LoadedTrace> load_trace(const Args& args) {
   if (!path.has_value() || path->empty()) {
     return Error{"--csv", "required: path to the trace CSV"};
   }
-  prep::CsvParams csv;
-  csv.force_categorical = split_list(args.get_or("categorical", "job_id"));
-  auto parsed = prep::read_csv_file(*path, csv);
-  if (!parsed.ok()) return parsed.error();
-
-  LoadedTrace loaded{std::move(parsed).value(), {}};
-  analysis::WorkflowConfig& config = loaded.config;
-
+  // Flags first: --threads drives the CSV parser's chunking too.
   const auto min_support = args.get_double("min-support", 0.05);
   if (!min_support.ok()) return min_support.error();
   const auto max_length = args.get_uint("max-length", 5);
@@ -76,11 +71,26 @@ Result<LoadedTrace> load_trace(const Args& args) {
   if (!c_lift.ok()) return c_lift.error();
   const auto c_supp = args.get_double("c-supp", 1.5);
   if (!c_supp.ok()) return c_supp.error();
+
+  prep::CsvParams csv;
+  csv.force_categorical = split_list(args.get_or("categorical", "job_id"));
+  csv.num_threads = static_cast<std::size_t>(threads.value());
+  const auto csv_begin = std::chrono::steady_clock::now();
+  auto parsed = prep::read_csv_file(*path, csv);
+  if (!parsed.ok()) return parsed.error();
+
+  LoadedTrace loaded{std::move(parsed).value(), {}, 0.0};
+  loaded.csv_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - csv_begin)
+                           .count();
+  analysis::WorkflowConfig& config = loaded.config;
+
   config.mining.min_support = min_support.value();
   config.mining.max_length = static_cast<std::size_t>(max_length.value());
   config.mining.num_threads = static_cast<std::size_t>(threads.value());
-  // Rule generation shards across the same worker count as mining.
+  // Rule generation and the prep stages share the mining worker count.
   config.rules.num_threads = config.mining.num_threads;
+  config.prep_threads = config.mining.num_threads;
   config.rules.min_lift = min_lift.value();
   config.pruning.c_lift = c_lift.value();
   config.pruning.c_supp = c_supp.value();
@@ -224,6 +234,7 @@ int run_itemsets(const std::vector<std::string>& args_raw, std::ostream& out,
 
   LoadedTrace trace = std::move(loaded).value();
   auto mined = analysis::mine(std::move(trace.table), trace.config);
+  mined.mined.metrics.prep_stage.csv_seconds = trace.csv_seconds;
   if (stats) out << mined.mined.metrics.summary();
   if (family == "closed") {
     mined.mined.itemsets = core::closed_itemsets(mined.mined);
@@ -326,6 +337,7 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
     config = trace.config;
     auto mined = analysis::mine(std::move(trace.table), config);
     result = std::move(mined.mined);
+    result.metrics.prep_stage.csv_seconds = trace.csv_seconds;
     catalog = std::move(mined.prepared.catalog);
     if (stats) out << result.metrics.summary();
   }

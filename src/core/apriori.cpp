@@ -63,9 +63,10 @@ std::uint64_t combinations(std::size_t n, std::size_t k) {
   return result;
 }
 
-// Enumerates all k-subsets of `txn`, incrementing matching candidates.
-void count_by_enumeration(std::span<const ItemId> txn, std::size_t k,
-                          SupportMap& cand_counts) {
+// Enumerates all k-subsets of `txn`, adding the transaction's weight to
+// matching candidates.
+void count_by_enumeration(std::span<const ItemId> txn, std::uint64_t weight,
+                          std::size_t k, SupportMap& cand_counts) {
   Itemset scratch;
   scratch.reserve(k);
   std::vector<std::size_t> idx(k);
@@ -75,7 +76,7 @@ void count_by_enumeration(std::span<const ItemId> txn, std::size_t k,
     for (std::size_t i : idx) scratch.push_back(txn[i]);
     if (auto it = cand_counts.find(std::span<const ItemId>(scratch));
         it != cand_counts.end()) {
-      ++it->second;
+      it->second += weight;
     }
     // Advance the combination (rightmost index that can still move).
     std::size_t pos = k;
@@ -91,10 +92,10 @@ void count_by_enumeration(std::span<const ItemId> txn, std::size_t k,
 MiningResult mine_apriori(const TransactionDb& db, const MiningParams& params) {
   params.validate();
   MiningResult result;
-  result.db_size = db.size();
+  result.db_size = db.total_weight();
   if (db.empty()) return result;
 
-  const std::uint64_t min_count = params.min_count(db.size());
+  const std::uint64_t min_count = params.min_count(db.total_weight());
 
   // Level 1: direct per-item counting.
   const auto counts = db.item_counts();
@@ -123,11 +124,12 @@ MiningResult mine_apriori(const TransactionDb& db, const MiningParams& params) {
     for (std::size_t t = 0; t < db.size(); ++t) {
       const auto txn = db[t];
       if (txn.size() < k) continue;
+      const std::uint64_t w = db.weight(t);
       if (combinations(txn.size(), k) <= candidates.size()) {
-        count_by_enumeration(txn, k, cand_counts);
+        count_by_enumeration(txn, w, k, cand_counts);
       } else {
         for (auto& [cand, count] : cand_counts) {
-          if (is_subset(cand, txn)) ++count;
+          if (is_subset(cand, txn)) count += w;
         }
       }
     }

@@ -20,10 +20,13 @@ using TidSpan = std::span<const std::uint32_t>;
 // flat tid buffer directly; deeper nodes own the intersection they were
 // built from, with `tids` spanning it (vector moves keep the heap buffer
 // stable, so moving a Node — or its class into a task — is safe).
+// `count` is the weighted support of the tid list — equal to
+// tids.size() on unweighted databases.
 struct Node {
   ItemId item;
   TidSpan tids;
   TidList owned;
+  std::uint64_t count = 0;
 };
 
 TidList intersect(TidSpan a, TidSpan b) {
@@ -41,6 +44,8 @@ struct EclatShared {
   std::uint64_t min_count = 0;
   std::size_t max_length = 0;
   std::size_t spawn_cutoff_tids = 0;  // total tids in a class to justify a task
+  /// Per-transaction multiplicities; empty on unweighted databases.
+  std::span<const std::uint64_t> weights;
   ThreadPool::TaskGroup* group = nullptr;  // null => mine serially
 
   std::mutex out_mutex;
@@ -59,6 +64,15 @@ std::size_t total_tids(const std::vector<Node>& klass) {
   return total;
 }
 
+// Weighted support of a tid list: the sum of the member transactions'
+// multiplicities (== tids.size() on unweighted databases).
+std::uint64_t weight_of(const EclatShared& shared, TidSpan tids) {
+  if (shared.weights.empty()) return tids.size();
+  std::uint64_t count = 0;
+  for (std::uint32_t t : tids) count += shared.weights[t];
+  return count;
+}
+
 // Depth-first extension of `prefix` by each class member, recursing into
 // the equivalence class of survivors. Classes with enough tid-list mass
 // become work-stealing tasks (the task owns its class), so a dominant
@@ -70,17 +84,19 @@ void mine_class(EclatShared& shared, const Itemset& prefix,
     Itemset extended = prefix;
     extended.push_back(klass[i].item);
     canonicalize(extended);
-    out.push_back({extended, klass[i].tids.size()});
+    out.push_back({extended, klass[i].count});
     if (extended.size() >= shared.max_length) continue;
 
     std::vector<Node> next_class;
     for (std::size_t j = i + 1; j < klass.size(); ++j) {
       TidList tids = intersect(klass[i].tids, klass[j].tids);
-      if (tids.size() >= shared.min_count) {
+      const std::uint64_t count = weight_of(shared, tids);
+      if (count >= shared.min_count) {
         Node node;
         node.item = klass[j].item;
         node.owned = std::move(tids);
         node.tids = node.owned;
+        node.count = count;
         next_class.push_back(std::move(node));
       }
     }
@@ -104,11 +120,11 @@ void mine_class(EclatShared& shared, const Itemset& prefix,
 MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
   params.validate();
   MiningResult result;
-  result.db_size = db.size();
+  result.db_size = db.total_weight();
   if (db.empty()) return result;
 
   const auto wall_begin = std::chrono::steady_clock::now();
-  const std::uint64_t min_count = params.min_count(db.size());
+  const std::uint64_t min_count = params.min_count(db.total_weight());
 
   // The shared rank encoding carries the vertical layout: one sorted
   // tid-list per frequent item, all back to back in a flat buffer the
@@ -121,18 +137,24 @@ MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
     Node node;
     node.item = enc.item_of_rank[r];
     node.tids = enc.tidlist(r);
+    node.count = enc.count_of_rank[r];
     root.push_back(std::move(node));
   }
 
   EclatShared shared;
   shared.min_count = min_count;
   shared.max_length = params.max_length;
+  shared.weights = enc.weights;
   // The node-count cutoff tuned for FP-trees maps onto tid-list mass here;
   // both measure "bytes of projected database a task would own".
   shared.spawn_cutoff_tids = params.spawn_cutoff_nodes * 16;
   shared.out = &result.itemsets;
 
-  if (params.num_threads == 1 || root.size() < 2) {
+  // Small inputs fall back to the serial path: below the work-size
+  // cutoff, pool startup and task overhead exceed the mining itself.
+  const bool go_parallel = params.num_threads != 1 && root.size() >= 2 &&
+                           enc.items.size() >= params.serial_cutoff_items;
+  if (!go_parallel) {
     mine_class(shared, {}, root, result.itemsets);
     result.metrics.num_workers = 1;
   } else {

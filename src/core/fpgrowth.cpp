@@ -421,10 +421,10 @@ void mine_tree(MineShared& shared, const FlatFpTree& tree,
 MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) {
   params.validate();
   MiningResult result;
-  result.db_size = db.size();
+  result.db_size = db.total_weight();
   if (db.empty()) return result;
 
-  const std::uint64_t min_count = params.min_count(db.size());
+  const std::uint64_t min_count = params.min_count(db.total_weight());
 
   // One shared re-encode: global support-descending ranks, transactions
   // as rank-ascending runs in a flat buffer (see RankEncoding).
@@ -456,7 +456,9 @@ MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) 
     }
     for (std::size_t t = 0; t < enc.size(); ++t) {
       const auto ranks = enc.transaction(t);
-      if (!ranks.empty()) tree.insert(ranks, 1);
+      if (!ranks.empty()) {
+        tree.insert(ranks, enc.weights.empty() ? 1 : enc.weights[t]);
+      }
     }
     tree.finish_build();
 
@@ -470,7 +472,11 @@ MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) 
       }
     };
 
-    if (params.num_threads == 1 || n < 2) {
+    // Small inputs fall back to the serial path: below the work-size
+    // cutoff, pool startup and task overhead exceed the mining itself.
+    const bool go_parallel = params.num_threads != 1 && n >= 2 &&
+                             enc.items.size() >= params.serial_cutoff_items;
+    if (!go_parallel) {
       mine_all_ranks(result.itemsets);
       result.metrics.num_workers = 1;
     } else {

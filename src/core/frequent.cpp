@@ -9,7 +9,7 @@
 
 namespace gpumine::core {
 
-std::uint64_t MiningParams::min_count(std::size_t db_size) const {
+std::uint64_t MiningParams::min_count(std::uint64_t db_size) const {
   validate();
   const double exact = min_support * static_cast<double>(db_size);
   auto count = static_cast<std::uint64_t>(std::ceil(exact));
@@ -28,6 +28,37 @@ void MiningParams::validate() const {
   GPUMINE_CHECK_ARG(max_length >= 1, "max_length must be >= 1");
   GPUMINE_CHECK_ARG(spawn_cutoff_nodes >= 1,
                     "spawn_cutoff_nodes must be >= 1");
+}
+
+bool PrepStageMetrics::populated() const {
+  return csv_seconds > 0.0 || binning_seconds > 0.0 || encode_seconds > 0.0 ||
+         dedup_seconds > 0.0 || input_transactions > 0;
+}
+
+std::string PrepStageMetrics::summary() const {
+  std::ostringstream out;
+  out << "prep stage:\n"
+      << "  csv parse:      " << csv_seconds * 1e3 << " ms\n"
+      << "  binning:        " << binning_seconds * 1e3 << " ms\n"
+      << "  encoding:       " << encode_seconds * 1e3 << " ms\n"
+      << "  dedup:          " << dedup_seconds * 1e3 << " ms\n"
+      << "  transactions:   " << input_transactions << " -> "
+      << distinct_transactions << " distinct";
+  if (dedup_ratio > 0.0) out << " (ratio " << dedup_ratio << ")";
+  out << "\n";
+  return out.str();
+}
+
+std::string PrepStageMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"csv_seconds\":" << csv_seconds
+      << ",\"binning_seconds\":" << binning_seconds
+      << ",\"encode_seconds\":" << encode_seconds
+      << ",\"dedup_seconds\":" << dedup_seconds
+      << ",\"input_transactions\":" << input_transactions
+      << ",\"distinct_transactions\":" << distinct_transactions
+      << ",\"dedup_ratio\":" << dedup_ratio << "}";
+  return out.str();
 }
 
 bool RuleStageMetrics::populated() const {
@@ -101,6 +132,7 @@ std::string MiningMetrics::summary() const {
     }
     out << "\n";
   }
+  if (prep_stage.populated()) out << prep_stage.summary();
   if (rule_stage.populated()) out << rule_stage.summary();
   return out.str();
 }
@@ -126,7 +158,8 @@ std::string MiningMetrics::to_json() const {
     if (i > 0) out << ",";
     out << depth_histogram[i];
   }
-  out << "],\"rule_stage\":" << rule_stage.to_json() << "}";
+  out << "],\"prep_stage\":" << prep_stage.to_json()
+      << ",\"rule_stage\":" << rule_stage.to_json() << "}";
   return out.str();
 }
 

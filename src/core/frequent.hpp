@@ -31,11 +31,19 @@ struct MiningParams {
   /// expose more parallelism, higher values cut task overhead. Ignored
   /// when num_threads == 1.
   std::size_t spawn_cutoff_nodes = 256;
+  /// Work-size floor for going parallel at all: when the rank-encoded
+  /// database holds fewer item occurrences than this, FP-Growth/Eclat
+  /// mine serially even if num_threads > 1 — on inputs this small, pool
+  /// startup and task overhead cost more than the mining (the PR 2/3
+  /// bench trajectory recorded parallel *slower* than serial on the
+  /// smoke workload). 0 disables the fallback (tests use this to force
+  /// the parallel path on small fixtures).
+  std::size_t serial_cutoff_items = 131072;
 
   /// Converts the fractional threshold into an absolute count over a
-  /// database of `db_size` transactions: the smallest count c with
+  /// database of total weight `db_size`: the smallest count c with
   /// c / db_size >= min_support, and at least 1.
-  [[nodiscard]] std::uint64_t min_count(std::size_t db_size) const;
+  [[nodiscard]] std::uint64_t min_count(std::uint64_t db_size) const;
 
   /// Throws std::invalid_argument unless thresholds are in range.
   void validate() const;
@@ -44,6 +52,31 @@ struct MiningParams {
 struct FrequentItemset {
   Itemset items;        // canonical
   std::uint64_t count;  // sigma(items)
+};
+
+/// Observability for the preprocessing front-end (paper Sec. III-E):
+/// per-stage wall times and the transaction-deduplication shape. Filled
+/// by the analysis workflow / CLI (core itself never runs prep) and
+/// rendered as part of `mine --stats` and the perf JSON. All fields are
+/// zero until a prep stage has been timed.
+struct PrepStageMetrics {
+  double csv_seconds = 0.0;      // CSV parse + type inference
+  double binning_seconds = 0.0;  // per-feature fit + apply
+  double encode_seconds = 0.0;   // one-hot transaction encoding
+  double dedup_seconds = 0.0;    // weighted transaction dedup
+  std::uint64_t input_transactions = 0;     // rows entering the miner
+  std::uint64_t distinct_transactions = 0;  // rows after dedup()
+  /// input / distinct; 1.0 = no duplication, 0 until dedup has run.
+  double dedup_ratio = 0.0;
+
+  /// True once any prep-stage work has been recorded.
+  [[nodiscard]] bool populated() const;
+
+  /// Human-readable block appended to MiningMetrics::summary().
+  [[nodiscard]] std::string summary() const;
+
+  /// Single-line JSON object (embedded by MiningMetrics::to_json).
+  [[nodiscard]] std::string to_json() const;
 };
 
 /// Observability counters for the downstream rule stage — rule
@@ -107,6 +140,9 @@ struct MiningMetrics {
   /// Downstream rule-generation/pruning counters; zero until a rule
   /// stage ran over this result (e.g. `mine --keyword`).
   RuleStageMetrics rule_stage;
+  /// Upstream preprocessing counters; zero unless the run came through
+  /// the analysis workflow / CLI, which time the prep stages.
+  PrepStageMetrics prep_stage;
 
   /// Human-readable multi-line summary for `--stats`.
   [[nodiscard]] std::string summary() const;
@@ -125,6 +161,8 @@ using SupportMap =
 /// algorithm or thread count that produced it.
 struct MiningResult {
   std::vector<FrequentItemset> itemsets;
+  /// |D| as the support denominator: TransactionDb::total_weight() of the
+  /// mined database (== its size() when unweighted).
   std::uint64_t db_size = 0;
   MiningMetrics metrics;  // scheduler observability; not part of equality
 

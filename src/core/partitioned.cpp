@@ -18,7 +18,7 @@ MiningResult mine_partitioned(const TransactionDb& db,
                               const PartitionedParams& params) {
   params.validate();
   MiningResult result;
-  result.db_size = db.size();
+  result.db_size = db.total_weight();
   if (db.empty()) return result;
 
   const auto wall_begin = std::chrono::steady_clock::now();
@@ -26,11 +26,12 @@ MiningResult mine_partitioned(const TransactionDb& db,
 
   // Pass 1: mine each contiguous slice at the same fractional support.
   // Slices are rebuilt as owned TransactionDbs — in a genuinely
-  // distributed setting these would live on separate nodes.
+  // distributed setting these would live on separate nodes. Weights ride
+  // along, so the SON property holds over total weight per partition.
   std::vector<TransactionDb> parts(p);
   for (std::size_t t = 0; t < db.size(); ++t) {
     const auto txn = db[t];
-    parts[t * p / db.size()].add(Itemset(txn.begin(), txn.end()));
+    parts[t * p / db.size()].add(Itemset(txn.begin(), txn.end()), db.weight(t));
   }
 
   std::vector<std::vector<FrequentItemset>> local(p);
@@ -55,15 +56,16 @@ MiningResult mine_partitioned(const TransactionDb& db,
     for (const auto& fi : part) candidates.emplace(fi.items, 0);
   }
 
-  // Pass 2: exact global counts in one sweep over the database.
+  // Pass 2: exact global weighted counts in one sweep over the database.
   for (std::size_t t = 0; t < db.size(); ++t) {
     const auto txn = db[t];
+    const std::uint64_t w = db.weight(t);
     for (auto& [items, count] : candidates) {
-      if (is_subset(items, txn)) ++count;
+      if (is_subset(items, txn)) count += w;
     }
   }
 
-  const std::uint64_t min_count = params.mining.min_count(db.size());
+  const std::uint64_t min_count = params.mining.min_count(db.total_weight());
   for (const auto& [items, count] : candidates) {
     if (count >= min_count) result.itemsets.push_back({items, count});
   }

@@ -112,7 +112,12 @@ std::vector<Rule> generate_rules(const MiningResult& mined,
   std::uint64_t itemsets_considered = 0;
   std::uint64_t candidates = 0;
   if (mined.db_size > 0 && !mined.itemsets.empty()) {
-    if (threads <= 1 || mined.itemsets.size() < 2) {
+    // Small inputs fall back to the serial path: below the work-size
+    // cutoff, pool startup exceeds the enumeration itself. Metrics then
+    // report the width actually used (1), not the one requested.
+    if (mined.itemsets.size() < params.serial_cutoff_itemsets ||
+        threads <= 1 || mined.itemsets.size() < 2) {
+      threads = 1;
       ShardResult shard;
       Itemset antecedent;
       Itemset consequent;

@@ -45,6 +45,13 @@ struct RuleParams {
   /// to the serial path for any thread count. 0 = hardware concurrency,
   /// 1 = sequential (no pool is created).
   std::size_t num_threads = 1;
+  /// Work-size floor for going parallel at all: with fewer frequent
+  /// itemsets than this, rules are generated serially even when
+  /// num_threads > 1 — pool startup dwarfs the enumeration on small
+  /// inputs (the PR 3 bench recorded rule_speedup 0.94 on a 1.4k-rule
+  /// smoke workload). 0 disables the fallback (tests use this to force
+  /// the sharded path on small fixtures).
+  std::size_t serial_cutoff_itemsets = 4096;
 
   void validate() const;
 };

@@ -12,7 +12,7 @@ MiningResult mine_at(const TransactionDb& db, std::uint64_t min_count,
   // Convert the absolute count back to a fraction that reproduces it:
   // min_count(db) = ceil(f * |D|), so f = min_count / |D| lands exactly.
   params.min_support = static_cast<double>(min_count) /
-                       static_cast<double>(db.size());
+                       static_cast<double>(db.total_weight());
   params.max_length = max_length;
   return mine_fpgrowth(db, params);
 }
@@ -32,13 +32,13 @@ TopKResult mine_topk(const TransactionDb& db, std::size_t k,
   // Invariant: itemset count at `lo` is >= k (or lo == 1 and the db
   // simply cannot produce k itemsets); count at `hi + 1` is < k.
   std::uint64_t lo = 1;
-  std::uint64_t hi = db.size();
+  std::uint64_t hi = db.total_weight();
   // Early exit: even the lowest threshold may yield < k itemsets.
   MiningResult at_lo = mine_at(db, 1, max_length);
   if (at_lo.itemsets.size() < k) {
     out.result = std::move(at_lo);
     out.min_count = 1;
-    out.effective_support = 1.0 / static_cast<double>(db.size());
+    out.effective_support = 1.0 / static_cast<double>(db.total_weight());
     return out;
   }
   while (lo < hi) {
@@ -53,7 +53,7 @@ TopKResult mine_topk(const TransactionDb& db, std::size_t k,
   out.result = mine_at(db, lo, max_length);
   out.min_count = lo;
   out.effective_support =
-      static_cast<double>(lo) / static_cast<double>(db.size());
+      static_cast<double>(lo) / static_cast<double>(db.total_weight());
   GPUMINE_ENSURE(out.result.itemsets.size() >= k,
                  "top-k search converged below k");
   return out;

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "common/ensure.hpp"
 
 namespace gpumine::core {
 
-void TransactionDb::add(Itemset transaction) {
+void TransactionDb::add(Itemset transaction, std::uint64_t weight) {
+  GPUMINE_CHECK_ARG(weight >= 1, "transaction weight must be >= 1");
   canonicalize(transaction);
   if (!transaction.empty()) {
     item_id_bound_ = std::max(
@@ -15,20 +17,59 @@ void TransactionDb::add(Itemset transaction) {
   }
   items_.insert(items_.end(), transaction.begin(), transaction.end());
   offsets_.push_back(items_.size());
+  if (weight != 1 && weights_.empty()) {
+    // First non-unit weight: backfill the implicit 1s. size() already
+    // counts this transaction, so size() - 1 rows precede it (possibly
+    // zero — the assign must not gate the push below).
+    weights_.assign(size() - 1, 1);
+    total_weight_ = size() - 1;
+    weights_.push_back(weight);
+    total_weight_ += weight;
+  } else if (!weights_.empty()) {
+    weights_.push_back(weight);
+    total_weight_ += weight;
+  }
+}
+
+TransactionDb TransactionDb::dedup() const {
+  TransactionDb out;
+  std::unordered_map<Itemset, std::size_t, ItemsetHash, ItemsetEq> row_index;
+  row_index.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::span<const ItemId> row = (*this)[i];
+    if (const auto it = row_index.find(row); it != row_index.end()) {
+      out.weights_[it->second] += weight(i);
+    } else {
+      row_index.emplace(Itemset(row.begin(), row.end()), out.size());
+      out.items_.insert(out.items_.end(), row.begin(), row.end());
+      out.offsets_.push_back(out.items_.size());
+      out.weights_.push_back(weight(i));
+    }
+  }
+  out.total_weight_ = total_weight();
+  out.item_id_bound_ = item_id_bound_;
+  return out;
 }
 
 std::uint64_t TransactionDb::support_count(
     std::span<const ItemId> itemset) const {
   std::uint64_t count = 0;
   for (std::size_t i = 0; i < size(); ++i) {
-    if (is_subset(itemset, (*this)[i])) ++count;
+    if (is_subset(itemset, (*this)[i])) count += weight(i);
   }
   return count;
 }
 
 std::vector<std::uint64_t> TransactionDb::item_counts() const {
   std::vector<std::uint64_t> counts(item_id_bound_, 0);
-  for (ItemId id : items_) ++counts[id];
+  if (weights_.empty()) {
+    for (ItemId id : items_) ++counts[id];
+  } else {
+    for (std::size_t t = 0; t < size(); ++t) {
+      const std::uint64_t w = weights_[t];
+      for (ItemId id : (*this)[t]) counts[id] += w;
+    }
+  }
   return counts;
 }
 
@@ -61,6 +102,13 @@ RankEncoding rank_encode(const TransactionDb& db, std::uint64_t min_count,
     enc.count_of_rank[r] = counts[enc.item_of_rank[r]];
   }
 
+  if (db.weighted()) {
+    enc.weights.reserve(db.size());
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      enc.weights.push_back(db.weight(t));
+    }
+  }
+
   enc.offsets.reserve(db.size() + 1);
   enc.offsets.push_back(0);
   enc.items.reserve(db.total_items());
@@ -76,10 +124,13 @@ RankEncoding rank_encode(const TransactionDb& db, std::uint64_t min_count,
   }
 
   if (with_tids) {
+    // Tid lists hold *distinct* transaction ids, so size them by
+    // occurrence count, not by the (possibly weighted) support count.
+    std::vector<std::uint32_t> occurrences(enc.num_ranks(), 0);
+    for (std::uint32_t r : enc.items) ++occurrences[r];
     enc.tid_offsets.resize(enc.num_ranks() + 1, 0);
     for (std::uint32_t r = 0; r < enc.num_ranks(); ++r) {
-      enc.tid_offsets[r + 1] =
-          enc.tid_offsets[r] + static_cast<std::uint32_t>(enc.count_of_rank[r]);
+      enc.tid_offsets[r + 1] = enc.tid_offsets[r] + occurrences[r];
     }
     enc.tids.resize(enc.tid_offsets.back());
     std::vector<std::uint32_t> cursor(enc.tid_offsets.begin(),

@@ -5,6 +5,13 @@
 // non-empty cell parses as a double), and maps empty cells to missing.
 // Recoverable input problems come back as Result errors with file/line
 // context, never exceptions.
+//
+// Parsing is a two-pass design over the slurped text: a serial
+// quote-parity scan finds record boundaries (exact under RFC-4180 —
+// see split_records), then field splitting, type inference, and column
+// construction run chunked across a thread pool when
+// CsvParams::num_threads > 1. Output is byte-identical to the serial
+// path for any thread count.
 #pragma once
 
 #include <iosfwd>
@@ -21,6 +28,10 @@ struct CsvParams {
   /// Force these columns to be categorical even if all cells parse as
   /// numbers (ids, zip-code-like fields).
   std::vector<std::string> force_categorical;
+  /// Worker threads for field splitting, type inference, and column
+  /// construction. 0 = hardware concurrency, 1 = fully serial (no pool
+  /// is created). The parsed Table is identical for any value.
+  std::size_t num_threads = 1;
 };
 
 /// Parses CSV text (first row = header) into a Table.

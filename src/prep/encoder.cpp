@@ -1,8 +1,12 @@
 #include "prep/encoder.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
+#include <thread>
 
 #include "common/ensure.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpumine::prep {
 
@@ -39,10 +43,23 @@ EncodeResult encode(const Table& table, const EncoderParams& params) {
   const double limit =
       params.dominance_threshold * static_cast<double>(rows);
 
-  // Per column: which label codes survive, and their item names.
+  std::size_t threads = params.num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && rows > 0) pool.emplace(threads);
+
+  // Per column: which label codes survive, their item names, and the
+  // column's dominance-dropped items. Columns are independent, so the
+  // counting pass runs one column per pool task; dropped_items are
+  // concatenated in column order afterwards, keeping the reporting
+  // order identical to the serial sweep.
   std::vector<std::vector<bool>> keep(plan.size());
   std::vector<std::vector<std::string>> item_names(plan.size());
-  for (std::size_t c = 0; c < plan.size(); ++c) {
+  std::vector<std::vector<std::string>> dropped(plan.size());
+  const auto count_column = [&](std::size_t c) {
     const auto counts = plan[c].column->value_counts();
     keep[c].resize(counts.size());
     item_names[c].resize(counts.size());
@@ -54,32 +71,66 @@ EncodeResult encode(const Table& table, const EncoderParams& params) {
       item_names[c][code] = item;
       if (static_cast<double>(counts[code]) > limit) {
         keep[c][code] = false;
-        if (counts[code] > 0) result.dropped_items.push_back(item);
+        if (counts[code] > 0) dropped[c].push_back(item);
       } else {
         keep[c][code] = true;
       }
     }
+  };
+  if (pool) {
+    pool->parallel_for(plan.size(), count_column);
+  } else {
+    for (std::size_t c = 0; c < plan.size(); ++c) count_column(c);
+  }
+  for (std::vector<std::string>& d : dropped) {
+    std::move(d.begin(), d.end(), std::back_inserter(result.dropped_items));
   }
 
   // Pass 2: intern surviving items in deterministic (column, code) order,
-  // then emit transactions.
+  // recording each id so the row pass never touches the catalog's hash.
+  constexpr core::ItemId kDropped = std::numeric_limits<core::ItemId>::max();
+  std::vector<std::vector<core::ItemId>> ids(plan.size());
   for (std::size_t c = 0; c < plan.size(); ++c) {
+    ids[c].assign(item_names[c].size(), kDropped);
     for (std::size_t code = 0; code < item_names[c].size(); ++code) {
-      if (keep[c][code]) result.catalog.intern(item_names[c][code]);
+      if (keep[c][code]) {
+        ids[c][code] = result.catalog.intern(item_names[c][code]);
+      }
     }
   }
 
-  result.db.reserve(rows, rows * plan.size());
-  core::Itemset txn;
-  for (std::size_t r = 0; r < rows; ++r) {
-    txn.clear();
-    for (std::size_t c = 0; c < plan.size(); ++c) {
-      if (plan[c].column->is_missing(r)) continue;
-      const auto code = static_cast<std::size_t>(plan[c].column->code(r));
-      if (!keep[c][code]) continue;
-      txn.push_back(*result.catalog.find(item_names[c][code]));
+  // Pass 3: encode rows. Chunks build their transactions independently
+  // (TransactionDb::add canonicalizes each one on append, as before);
+  // the serial append in chunk order makes the database identical to
+  // the row-by-row sweep.
+  const std::size_t num_chunks =
+      pool ? std::max<std::size_t>(1, std::min(rows, threads * 4)) : 1;
+  std::vector<std::vector<core::Itemset>> chunk_txns(num_chunks);
+  const auto encode_chunk = [&](std::size_t i) {
+    const std::size_t lo = rows * i / num_chunks;
+    const std::size_t hi = rows * (i + 1) / num_chunks;
+    chunk_txns[i].reserve(hi - lo);
+    core::Itemset txn;
+    for (std::size_t r = lo; r < hi; ++r) {
+      txn.clear();
+      for (std::size_t c = 0; c < plan.size(); ++c) {
+        if (plan[c].column->is_missing(r)) continue;
+        const auto code = static_cast<std::size_t>(plan[c].column->code(r));
+        if (ids[c][code] == kDropped) continue;
+        txn.push_back(ids[c][code]);
+      }
+      chunk_txns[i].push_back(txn);
     }
-    result.db.add(txn);
+  };
+  if (pool) {
+    pool->parallel_for(num_chunks, encode_chunk);
+  } else {
+    for (std::size_t i = 0; i < num_chunks; ++i) encode_chunk(i);
+  }
+
+  result.db.reserve(rows, rows * plan.size());
+  for (std::vector<core::Itemset>& txns : chunk_txns) {
+    for (core::Itemset& txn : txns) result.db.add(std::move(txn));
   }
   return result;
 }

@@ -23,6 +23,10 @@ struct EncoderParams {
   /// Columns whose item names should be the bare label (e.g. framework
   /// "Tensorflow", status "Failed") rather than "column = label".
   std::vector<std::string> bare_label_columns;
+  /// Worker threads for the counting pass (per column) and the row
+  /// encoding pass (per row chunk). 0 = hardware concurrency, 1 = fully
+  /// serial. The encoded database is identical for any value.
+  std::size_t num_threads = 1;
 
   void validate() const;
 };

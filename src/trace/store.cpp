@@ -4,9 +4,12 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/ensure.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gpumine::trace {
 namespace {
@@ -164,7 +167,8 @@ Result<std::vector<TraceStore::Entry>> TraceStore::list() const {
   return entries;
 }
 
-Result<prep::Table> TraceStore::extract_features() const {
+Result<prep::Table> TraceStore::extract_features(
+    std::size_t num_threads) const {
   auto entries = list();
   if (!entries.ok()) return entries.error();
 
@@ -183,12 +187,38 @@ Result<prep::Table> TraceStore::extract_features() const {
   }
   std::sort(metrics.begin(), metrics.end());
 
-  // stats[job][metric] — read every series once.
-  std::map<std::pair<std::string, std::string>, SeriesStats> stats;
-  for (const Entry& e : entries.value()) {
+  // Read + reduce every series once. Entries are independent files, so
+  // the reads fan out over a pool; results land in entry-indexed slots
+  // and the first failing entry (in index order, matching the serial
+  // sweep) wins error reporting.
+  const std::size_t n = entries.value().size();
+  std::vector<SeriesStats> entry_stats(n);
+  std::vector<std::optional<Error>> entry_errors(n);
+  const auto read_one = [&](std::size_t i) {
+    const Entry& e = entries.value()[i];
     auto series = read_series(e.job_id, e.metric);
-    if (!series.ok()) return series.error();
-    stats[{e.job_id, e.metric}] = series.value().stats();
+    if (!series.ok()) {
+      entry_errors[i] = series.error();
+    } else {
+      entry_stats[i] = series.value().stats();
+    }
+  };
+  std::size_t threads = num_threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (threads > 1 && n > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for(n, read_one);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) read_one(i);
+  }
+  std::map<std::pair<std::string, std::string>, SeriesStats> stats;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (entry_errors[i].has_value()) return *entry_errors[i];
+    const Entry& e = entries.value()[i];
+    stats[{e.job_id, e.metric}] = entry_stats[i];
   }
 
   prep::Table table;

@@ -50,8 +50,12 @@ class TraceStore {
   /// One row per job, one numeric column per "<metric> <stat>" with
   /// stat in {Mean, Min, Max, Var}, plus the categorical job_id column —
   /// ready to left_join onto a scheduler table. Jobs missing a metric
-  /// get NaNs in that metric's columns.
-  [[nodiscard]] Result<prep::Table> extract_features() const;
+  /// get NaNs in that metric's columns. Series files are read and
+  /// reduced in parallel when `num_threads` > 1 (0 = hardware
+  /// concurrency); the table — and the error reported on failure — are
+  /// identical for any value.
+  [[nodiscard]] Result<prep::Table> extract_features(
+      std::size_t num_threads = 1) const;
 
   [[nodiscard]] const std::string& root() const { return root_; }
 

@@ -61,6 +61,7 @@ void check_thread_counts(const EncodedTrace& trace, const char* label) {
   base.min_support = 0.05;
   base.max_length = 5;
   base.num_threads = 1;
+  base.serial_cutoff_items = 0;  // small fixture: force the parallel path
   const auto reference = mine_fpgrowth(trace.db, base);
   ASSERT_FALSE(reference.itemsets.empty()) << label;
 
@@ -92,6 +93,7 @@ TEST(MiningDeterminism, EclatThreadCountInvariantOnPai) {
   const auto trace = encoded_pai();
   MiningParams base;
   base.num_threads = 1;
+  base.serial_cutoff_items = 0;  // small fixture: force the parallel path
   const auto reference = mine_eclat(trace.db, base);
   MiningParams par = base;
   par.num_threads = 4;
@@ -105,6 +107,7 @@ TEST(MiningDeterminism, ParallelRunReportsSchedulerMetrics) {
   MiningParams params;
   params.num_threads = 4;
   params.spawn_cutoff_nodes = 2;
+  params.serial_cutoff_items = 0;  // small fixture: force the parallel path
   const auto result = mine_fpgrowth(trace.db, params);
   EXPECT_EQ(result.metrics.num_workers, 4u);
   EXPECT_GT(result.metrics.tasks_spawned, 0u);

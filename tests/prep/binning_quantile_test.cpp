@@ -1,0 +1,158 @@
+// The nth_element quantile selection inside fit_bins must reproduce the
+// full-sort reference bit for bit: same edges, same labels, same
+// special bins — on ties, NaNs, spikes, constants, and n < k inputs.
+// The reference here re-implements the original sort-based edge
+// computation independently (specials replicated via the public spec).
+#include "prep/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace gpumine::prep {
+namespace {
+
+// Sort-based reference for the interior edges, given the residual
+// values fit_bins would compute them from (specials already removed).
+std::vector<double> reference_edges(std::vector<double> residual,
+                                    const BinningParams& params) {
+  std::sort(residual.begin(), residual.end());
+  const int k = params.num_bins;
+  std::vector<double> edges;
+  if (params.equal_width) {
+    const double lo = residual.front();
+    const double hi = residual.back();
+    for (int i = 1; i < k; ++i) {
+      edges.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(k));
+    }
+  } else {
+    for (int i = 1; i < k; ++i) {
+      const auto idx = static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(residual.size() - 1),
+                           std::floor(static_cast<double>(residual.size()) *
+                                      static_cast<double>(i) /
+                                      static_cast<double>(k))));
+      edges.push_back(residual[idx]);
+    }
+  }
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  while (!edges.empty() && edges.front() <= residual.front()) {
+    edges.erase(edges.begin());
+  }
+  return edges;
+}
+
+// Strips NaNs and the special-bin values the fitted spec claimed, then
+// checks the fitted edges against the sort-based reference.
+void expect_reference_edges(const std::vector<double>& values,
+                            const BinningParams& params, const char* label) {
+  const BinSpec spec = fit_bins(values, params);
+  std::vector<double> residual;
+  for (double v : values) {
+    if (std::isnan(v)) continue;
+    if (spec.has_zero_bin && v == 0.0) continue;
+    if (spec.spike_value.has_value() && v == *spec.spike_value) continue;
+    residual.push_back(v);
+  }
+  if (residual.empty()) {
+    EXPECT_TRUE(spec.edges.empty()) << label;
+    return;
+  }
+  const std::vector<double> expected = reference_edges(residual, params);
+  ASSERT_EQ(spec.edges.size(), expected.size()) << label;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Bit-identical, not approximately equal: selection must pick the
+    // very same order statistic the sort would.
+    EXPECT_EQ(spec.edges[i], expected[i]) << label << " edge " << i;
+  }
+  EXPECT_EQ(spec.labels.size(), spec.edges.size() + 1) << label;
+}
+
+TEST(BinningQuantile, SkewedContinuousValues) {
+  std::mt19937 rng(7);
+  std::lognormal_distribution<double> dist(1.0, 1.5);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(dist(rng));
+  expect_reference_edges(values, BinningParams{}, "lognormal");
+}
+
+TEST(BinningQuantile, HeavyTies) {
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> dist(0, 6);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(dist(rng));
+  BinningParams params;
+  params.zero_mass_threshold = 2.0;   // keep zeros in the residual
+  params.spike_mass_threshold = 2.0;  // and the dominant value too
+  expect_reference_edges(values, params, "ties");
+}
+
+TEST(BinningQuantile, NaNsSkippedAndSpikeCarvedOut) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> dist(1.0, 100.0);
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) {
+    if (i % 5 == 0) {
+      values.push_back(std::nan(""));
+    } else if (i % 2 == 0) {
+      values.push_back(600.0);  // request-column style spike
+    } else {
+      values.push_back(dist(rng));
+    }
+  }
+  const BinSpec spec = fit_bins(values, BinningParams{});
+  ASSERT_TRUE(spec.spike_value.has_value());
+  EXPECT_EQ(*spec.spike_value, 600.0);
+  expect_reference_edges(values, BinningParams{}, "nan+spike");
+}
+
+TEST(BinningQuantile, ZeroBinPlusQuantiles) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> dist(0.5, 10.0);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(i % 3 == 0 ? 0.0 : dist(rng));
+  }
+  const BinSpec spec = fit_bins(values, BinningParams{});
+  EXPECT_TRUE(spec.has_zero_bin);
+  expect_reference_edges(values, BinningParams{}, "zero-bin");
+}
+
+TEST(BinningQuantile, ConstantColumnCollapses) {
+  const std::vector<double> values(64, 3.5);
+  BinningParams params;
+  params.spike_mass_threshold = 2.0;  // keep the constant in the residual
+  const BinSpec spec = fit_bins(values, params);
+  EXPECT_TRUE(spec.edges.empty());
+  EXPECT_EQ(spec.labels.size(), 1u);
+  expect_reference_edges(values, params, "constant");
+}
+
+TEST(BinningQuantile, FewerValuesThanBins) {
+  const std::vector<double> values = {2.0, 9.0};
+  BinningParams params;
+  params.num_bins = 8;
+  params.spike_mass_threshold = 2.0;
+  params.zero_mass_threshold = 2.0;
+  expect_reference_edges(values, params, "n<k");
+}
+
+TEST(BinningQuantile, EqualWidthUsesMinMaxOnly) {
+  std::mt19937 rng(43);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  std::vector<double> values;
+  for (int i = 0; i < 777; ++i) values.push_back(dist(rng));
+  BinningParams params;
+  params.equal_width = true;
+  params.zero_mass_threshold = 2.0;
+  params.spike_mass_threshold = 2.0;
+  expect_reference_edges(values, params, "equal-width");
+}
+
+}  // namespace
+}  // namespace gpumine::prep

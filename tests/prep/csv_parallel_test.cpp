@@ -1,0 +1,167 @@
+// The chunked parallel CSV front-end must be observationally identical
+// to the serial parser: same Table (types, cells, missing slots) and
+// the same first error, for any thread count — including inputs that
+// stress the quote-parity record split (embedded newlines, escaped
+// quotes, CRLF, blank lines).
+#include "prep/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+namespace gpumine::prep {
+namespace {
+
+Result<Table> parse(const std::string& text, const CsvParams& params) {
+  std::istringstream in(text);
+  return read_csv(in, params);
+}
+
+void expect_same_table(const Table& a, const Table& b, const char* label) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << label;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+  for (std::size_t c = 0; c < a.num_columns(); ++c) {
+    const std::string& name = a.column_name(c);
+    ASSERT_EQ(name, b.column_name(c)) << label;
+    ASSERT_EQ(a.is_numeric(name), b.is_numeric(name)) << label << " " << name;
+    for (std::size_t r = 0; r < a.num_rows(); ++r) {
+      if (a.is_numeric(name)) {
+        const NumericColumn& ca = a.numeric(name);
+        const NumericColumn& cb = b.numeric(name);
+        ASSERT_EQ(ca.is_missing(r), cb.is_missing(r))
+            << label << " " << name << " row " << r;
+        if (!ca.is_missing(r)) {
+          ASSERT_EQ(ca.values[r], cb.values[r])
+              << label << " " << name << " row " << r;
+        }
+      } else {
+        const CategoricalColumn& ca = a.categorical(name);
+        const CategoricalColumn& cb = b.categorical(name);
+        ASSERT_EQ(ca.is_missing(r), cb.is_missing(r))
+            << label << " " << name << " row " << r;
+        if (!ca.is_missing(r)) {
+          ASSERT_EQ(ca.label(r), cb.label(r))
+              << label << " " << name << " row " << r;
+        }
+      }
+    }
+  }
+}
+
+void check_thread_invariance(const std::string& text, const char* label) {
+  CsvParams serial;
+  const auto reference = parse(text, serial);
+  ASSERT_TRUE(reference.ok()) << label << ": " << reference.error().to_string();
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    CsvParams params;
+    params.num_threads = threads;
+    const auto parallel = parse(text, params);
+    ASSERT_TRUE(parallel.ok())
+        << label << " threads=" << threads << ": "
+        << parallel.error().to_string();
+    expect_same_table(reference.value(), parallel.value(), label);
+  }
+}
+
+std::string gnarly_fixture(std::size_t rows) {
+  std::ostringstream out;
+  out << "name,score,note\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    switch (r % 5) {
+      case 0:
+        out << "job" << r << "," << r << ".5,plain\n";
+        break;
+      case 1:  // embedded delimiter + escaped quotes
+        out << "\"job, " << r << "\"," << r << ",\"say \"\"hi\"\"\"\n";
+        break;
+      case 2:  // quoted field spanning a physical line
+        out << "\"multi\nline " << r << "\"," << r << ",x\n";
+        break;
+      case 3:  // CRLF ending + missing cells
+        out << "job" << r << ",,\r\n";
+        break;
+      default:  // blank line before a plain record
+        out << "\njob" << r << "," << r << ",y\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+TEST(CsvParallel, SmallGnarlyInputMatchesSerial) {
+  check_thread_invariance(gnarly_fixture(23), "gnarly-23");
+}
+
+TEST(CsvParallel, ManyRowsSpreadAcrossChunks) {
+  // Enough records that every chunk of an 8-thread run is non-trivial.
+  check_thread_invariance(gnarly_fixture(503), "gnarly-503");
+}
+
+TEST(CsvParallel, ForceCategoricalAppliesOnParallelPath) {
+  std::string text = "id,x\n";
+  for (int r = 0; r < 64; ++r) {
+    text += std::to_string(r) + "," + std::to_string(r * 2) + "\n";
+  }
+  CsvParams params;
+  params.force_categorical = {"id"};
+  params.num_threads = 4;
+  const auto result = parse(text, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().is_numeric("id"));
+  EXPECT_TRUE(result.value().is_numeric("x"));
+}
+
+TEST(CsvParallel, FieldCountErrorIsIdenticalToSerial) {
+  std::string text = "a,b\n";
+  for (int r = 0; r < 40; ++r) text += "1,2\n";
+  text += "1,2,3\n";  // line 42
+  for (int r = 0; r < 40; ++r) text += "1,2\n";
+
+  CsvParams serial;
+  const auto serial_result = parse(text, serial);
+  ASSERT_FALSE(serial_result.ok());
+  for (std::size_t threads : {2u, 8u}) {
+    CsvParams params;
+    params.num_threads = threads;
+    const auto parallel = parse(text, params);
+    ASSERT_FALSE(parallel.ok()) << "threads=" << threads;
+    EXPECT_EQ(parallel.error().to_string(),
+              serial_result.error().to_string())
+        << "threads=" << threads;
+  }
+  EXPECT_NE(serial_result.error().to_string().find(":42"), std::string::npos)
+      << "error should carry the record's line number";
+}
+
+TEST(CsvParallel, EarliestErrorWinsAcrossChunks) {
+  // Two malformed records in different chunks; the first one (by record
+  // order) must be reported, as the serial reader would.
+  std::string text = "a,b\n";
+  for (int r = 0; r < 10; ++r) text += "1,2\n";
+  text += "\"oops,2\n";  // unterminated quote swallows the rest
+  for (int r = 0; r < 200; ++r) text += "1,2,3\n";
+
+  CsvParams serial;
+  const auto serial_result = parse(text, serial);
+  ASSERT_FALSE(serial_result.ok());
+  CsvParams params;
+  params.num_threads = 8;
+  const auto parallel = parse(text, params);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.error().to_string(), serial_result.error().to_string());
+}
+
+TEST(CsvParallel, HeaderErrorsUnaffectedByThreads) {
+  for (std::size_t threads : {1u, 4u}) {
+    CsvParams params;
+    params.num_threads = threads;
+    EXPECT_FALSE(parse("", params).ok()) << threads;
+    EXPECT_FALSE(parse("a,,c\n1,2,3\n", params).ok()) << threads;
+    EXPECT_FALSE(parse("a,a\n1,2\n", params).ok()) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace gpumine::prep
