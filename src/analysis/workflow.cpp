@@ -5,6 +5,7 @@
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
+#include "core/partitioned.hpp"
 
 namespace gpumine::analysis {
 namespace {
@@ -89,7 +90,23 @@ MinedTrace mine(prep::Table table, const WorkflowConfig& config) {
   out.prepared = prepare(std::move(table), config);
   core::PrepStageMetrics pm = out.prepared.prep_metrics;
   pm.input_transactions = out.prepared.db.size();
-  if (config.dedup_transactions) {
+  if (config.engine == MiningEngine::kSon) {
+    // The SON engine dedups inside each partition slice, so a global
+    // dedup pass here would only duplicate work; distinct-row
+    // accounting comes out of the partition stage instead.
+    core::PartitionedParams son;
+    son.mining = config.mining;
+    son.num_partitions = config.num_partitions;
+    son.num_threads = config.mining.num_threads;
+    son.dedup_partitions = config.dedup_transactions;
+    out.mined = core::mine_partitioned(out.prepared.db, son);
+    pm.distinct_transactions =
+        out.mined.metrics.partition_stage.distinct_rows;
+    pm.dedup_ratio = pm.distinct_transactions == 0
+                         ? 0.0
+                         : static_cast<double>(pm.input_transactions) /
+                               static_cast<double>(pm.distinct_transactions);
+  } else if (config.dedup_transactions) {
     // Mining runs over the weighted deduplicated database; support math
     // uses total_weight(), so the result (itemsets, counts, db_size) is
     // byte-identical to mining the expanded one. `prepared.db` keeps

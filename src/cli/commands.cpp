@@ -106,6 +106,22 @@ Result<LoadedTrace> load_trace(const Args& args) {
     return Error{"--algorithm", "unknown algorithm '" + algorithm + "'"};
   }
 
+  const std::string engine = args.get_or("engine", "direct");
+  if (engine == "direct") {
+    config.engine = analysis::MiningEngine::kDirect;
+  } else if (engine == "son") {
+    config.engine = analysis::MiningEngine::kSon;
+  } else {
+    return Error{"--engine", "unknown engine '" + engine +
+                                 "' (must be direct or son)"};
+  }
+  const auto partitions = args.get_uint("partitions", 4);
+  if (!partitions.ok()) return partitions.error();
+  if (partitions.value() == 0) {
+    return Error{"--partitions", "must be >= 1"};
+  }
+  config.num_partitions = static_cast<std::size_t>(partitions.value());
+
   config.drop_columns = split_list(args.get_or("drop", "job_id"));
   config.encoder.bare_label_columns = split_list(args.get_or("bare", ""));
   for (const std::string& column : split_list(args.get_or("group", ""))) {
@@ -136,13 +152,14 @@ int run_help(std::ostream& out) {
          "[--seed S] --out trace.csv\n"
          "  gpumine itemsets --csv trace.csv [--min-support F] "
          "[--max-length K] [--algorithm A] [--top N] [--save FILE] [--family all|closed|maximal]\n"
-         "                   [--threads N] [--stats]\n"
+         "                   [--engine direct|son] [--partitions N] "
+         "[--threads N] [--stats]\n"
          "  gpumine mine (--csv trace.csv | --load FILE) --keyword ITEM "
          "[--min-support F] [--min-lift F]\n"
          "               [--c-lift F] [--c-supp F] [--bare col,..] "
          "[--group col,..] [--drop col,..]\n"
          "               [--format table|csv|json|md] [--max-rows N] "
-         "[--threads N] [--stats]\n"
+         "[--engine direct|son] [--partitions N] [--threads N] [--stats]\n"
          "  gpumine predict --csv trace.csv --target ITEM [--holdout F] "
          "[--min-confidence F] [--seed N]\n"
          "  gpumine report --csv trace.csv [--principal COL] [--runtime "

@@ -11,6 +11,7 @@ namespace gpumine::core {
 
 std::uint64_t MiningParams::min_count(std::uint64_t db_size) const {
   validate();
+  if (min_count_override > 0) return min_count_override;
   const double exact = min_support * static_cast<double>(db_size);
   auto count = static_cast<std::uint64_t>(std::ceil(exact));
   // ceil can land one below the threshold through floating rounding when
@@ -58,6 +59,47 @@ std::string PrepStageMetrics::to_json() const {
       << ",\"input_transactions\":" << input_transactions
       << ",\"distinct_transactions\":" << distinct_transactions
       << ",\"dedup_ratio\":" << dedup_ratio << "}";
+  return out.str();
+}
+
+bool PartitionMetrics::populated() const {
+  return num_partitions > 0 || candidates > 0 || pass1_seconds > 0.0 ||
+         pass2_seconds > 0.0;
+}
+
+std::string PartitionMetrics::summary() const {
+  std::ostringstream out;
+  out << "partition stage (SON):\n"
+      << "  partitions:     " << num_partitions << " (threads "
+      << num_threads << ")\n"
+      << "  rows:           " << input_rows << " -> " << distinct_rows
+      << " distinct after per-partition dedup\n"
+      << "  local itemsets:";
+  for (std::uint64_t n : partition_itemsets) out << " " << n;
+  out << "\n"
+      << "  candidates:     " << candidates << " -> " << verified
+      << " verified (false-candidate rate " << false_candidate_rate << ")\n"
+      << "  pass 1:         " << pass1_seconds * 1e3 << " ms\n"
+      << "  pass 2:         " << pass2_seconds * 1e3 << " ms ("
+      << verify_shards << " shards)\n";
+  return out.str();
+}
+
+std::string PartitionMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"num_partitions\":" << num_partitions
+      << ",\"num_threads\":" << num_threads << ",\"partition_itemsets\":[";
+  for (std::size_t i = 0; i < partition_itemsets.size(); ++i) {
+    if (i > 0) out << ",";
+    out << partition_itemsets[i];
+  }
+  out << "],\"input_rows\":" << input_rows
+      << ",\"distinct_rows\":" << distinct_rows
+      << ",\"candidates\":" << candidates << ",\"verified\":" << verified
+      << ",\"false_candidate_rate\":" << false_candidate_rate
+      << ",\"verify_shards\":" << verify_shards
+      << ",\"pass1_seconds\":" << pass1_seconds
+      << ",\"pass2_seconds\":" << pass2_seconds << "}";
   return out.str();
 }
 
@@ -133,6 +175,7 @@ std::string MiningMetrics::summary() const {
     out << "\n";
   }
   if (prep_stage.populated()) out << prep_stage.summary();
+  if (partition_stage.populated()) out << partition_stage.summary();
   if (rule_stage.populated()) out << rule_stage.summary();
   return out.str();
 }
@@ -159,6 +202,7 @@ std::string MiningMetrics::to_json() const {
     out << depth_histogram[i];
   }
   out << "],\"prep_stage\":" << prep_stage.to_json()
+      << ",\"partition_stage\":" << partition_stage.to_json()
       << ",\"rule_stage\":" << rule_stage.to_json() << "}";
   return out.str();
 }

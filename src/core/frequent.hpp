@@ -39,10 +39,19 @@ struct MiningParams {
   /// smoke workload). 0 disables the fallback (tests use this to force
   /// the parallel path on small fixtures).
   std::size_t serial_cutoff_items = 131072;
+  /// Absolute support-count threshold; 0 = derive from min_support.
+  /// When set, min_count() returns this value verbatim, bypassing the
+  /// fraction entirely. Callers that already hold an absolute count
+  /// (top-k's binary search, SON's per-partition thresholds) use this
+  /// to avoid the count -> fraction -> ceil(f * |D|) round trip, which
+  /// can land on count + 1 under floating rounding (e.g. count 7 over
+  /// total weight 25) and silently tighten the threshold.
+  std::uint64_t min_count_override = 0;
 
   /// Converts the fractional threshold into an absolute count over a
   /// database of total weight `db_size`: the smallest count c with
-  /// c / db_size >= min_support, and at least 1.
+  /// c / db_size >= min_support, and at least 1. When
+  /// min_count_override is nonzero it wins unconditionally.
   [[nodiscard]] std::uint64_t min_count(std::uint64_t db_size) const;
 
   /// Throws std::invalid_argument unless thresholds are in range.
@@ -112,6 +121,38 @@ struct RuleStageMetrics {
   [[nodiscard]] std::string to_json() const;
 };
 
+/// Observability for the two-pass partitioned SON engine
+/// (core::mine_partitioned): per-partition local-mining shape, the
+/// candidate-verification funnel, and per-pass wall times. Rendered as
+/// part of `mine --stats` and the perf JSON; all fields are zero unless
+/// the run went through the partitioned engine. docs/SCALING.md
+/// documents the schema.
+struct PartitionMetrics {
+  std::size_t num_partitions = 0;  // pass-1 slices actually mined
+  std::size_t num_threads = 1;     // scheduler width of the run
+  /// Locally frequent itemsets found per partition (pass-1 output).
+  std::vector<std::uint64_t> partition_itemsets;
+  std::uint64_t input_rows = 0;     // rows sliced into partitions
+  std::uint64_t distinct_rows = 0;  // rows after per-partition dedup
+  std::uint64_t candidates = 0;     // union of the local winners
+  std::uint64_t verified = 0;       // candidates globally frequent
+  /// Candidates that failed global verification, as a fraction of the
+  /// candidate set: (candidates - verified) / candidates.
+  double false_candidate_rate = 0.0;
+  std::uint64_t verify_shards = 0;  // pass-2 counting chunks
+  double pass1_seconds = 0.0;       // slice + dedup + local mining
+  double pass2_seconds = 0.0;       // index build + count + reduce
+
+  /// True once a partitioned run has been recorded.
+  [[nodiscard]] bool populated() const;
+
+  /// Human-readable block appended to MiningMetrics::summary().
+  [[nodiscard]] std::string summary() const;
+
+  /// Single-line JSON object (embedded by MiningMetrics::to_json).
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// Observability counters for one mining run, filled by the algorithms
 /// that use the work-stealing scheduler (FP-Growth, Eclat, partitioned).
 /// Rendered by `gpumine mine --stats` and emitted as JSON by the bench
@@ -137,6 +178,9 @@ struct MiningMetrics {
   /// mined at depth d (top-level projections are depth 0). The last slot
   /// aggregates anything deeper.
   std::vector<std::uint64_t> depth_histogram;
+  /// Two-pass SON counters; zero unless the run used the partitioned
+  /// engine (core::mine_partitioned).
+  PartitionMetrics partition_stage;
   /// Downstream rule-generation/pruning counters; zero until a rule
   /// stage ran over this result (e.g. `mine --keyword`).
   RuleStageMetrics rule_stage;

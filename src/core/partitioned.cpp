@@ -2,12 +2,156 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
 #include "core/fpgrowth.hpp"
 
 namespace gpumine::core {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+// Prefix index over the candidate set: a trie keyed by dense item codes
+// (candidate items renumbered 0..n-1 in ascending ItemId order, so the
+// monotone recode preserves canonical ordering). Counting a transaction
+// is one merge-walk of its recoded items against each trie level —
+// every candidate contained in the transaction is visited exactly once,
+// instead of one linear is_subset scan per candidate.
+class CandidateIndex {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  // `candidates` must be sorted lexicographically and non-empty; the
+  // candidate id used in count vectors is the position in that order.
+  CandidateIndex(const std::vector<Itemset>& candidates,
+                 std::size_t item_id_bound) {
+    code_of_item_.assign(item_id_bound, kNone);
+    for (const Itemset& c : candidates) {
+      for (ItemId item : c) code_of_item_[item] = 0;
+    }
+    std::uint32_t next = 0;
+    for (std::uint32_t& code : code_of_item_) {
+      if (code != kNone) code = next++;
+    }
+    num_codes_ = next;
+
+    recoded_.resize(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      recoded_[i].reserve(candidates[i].size());
+      for (ItemId item : candidates[i]) {
+        recoded_[i].push_back(code_of_item_[item]);
+      }
+    }
+    nodes_.reserve(2 * candidates.size());
+    std::tie(root_begin_, root_end_) = build(0, recoded_.size(), 0);
+  }
+
+  [[nodiscard]] std::size_t num_codes() const { return num_codes_; }
+
+  // Recodes `txn` (canonical item ids) into `scratch`, dropping items
+  // that appear in no candidate; the result stays strictly increasing.
+  void recode(std::span<const ItemId> txn,
+              std::vector<std::uint32_t>& scratch) const {
+    scratch.clear();
+    for (ItemId item : txn) {
+      if (item < code_of_item_.size() && code_of_item_[item] != kNone) {
+        scratch.push_back(code_of_item_[item]);
+      }
+    }
+  }
+
+  // Adds `weight` to counts[c] for every candidate c contained in the
+  // recoded transaction.
+  void count(std::span<const std::uint32_t> txn, std::uint64_t weight,
+             std::vector<std::uint64_t>& counts) const {
+    walk(root_begin_, root_end_, txn, 0, weight, counts);
+  }
+
+ private:
+  struct Node {
+    std::uint32_t code = 0;            // dense item code at this edge
+    std::uint32_t children_begin = 0;  // contiguous child range
+    std::uint32_t children_end = 0;
+    std::uint32_t candidate = kNone;   // candidate ending here, if any
+  };
+
+  // Builds the child nodes for candidates [b, e) that share a common
+  // prefix of length `depth`, contiguously, then recurses per child.
+  std::pair<std::uint32_t, std::uint32_t> build(std::size_t b, std::size_t e,
+                                                std::size_t depth) {
+    const auto first = static_cast<std::uint32_t>(nodes_.size());
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    std::size_t i = b;
+    while (i < e) {
+      const std::uint32_t code = recoded_[i][depth];
+      std::size_t j = i;
+      while (j < e && recoded_[j][depth] == code) ++j;
+      nodes_.push_back(Node{code, 0, 0, kNone});
+      groups.emplace_back(i, j);
+      i = j;
+    }
+    const auto last = static_cast<std::uint32_t>(nodes_.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      auto [gb, ge] = groups[g];
+      // The lexicographically first candidate of the group may end
+      // exactly at this node (shorter prefixes sort first).
+      if (recoded_[gb].size() == depth + 1) {
+        nodes_[first + g].candidate = static_cast<std::uint32_t>(gb);
+        ++gb;
+      }
+      if (gb < ge) {
+        const auto [cb, ce] = build(gb, ge, depth + 1);
+        nodes_[first + g].children_begin = cb;
+        nodes_[first + g].children_end = ce;
+      }
+    }
+    return {first, last};
+  }
+
+  // Merge-walk: sibling codes and transaction codes are both strictly
+  // increasing, so one two-pointer pass finds every matching edge.
+  void walk(std::uint32_t cb, std::uint32_t ce,
+            std::span<const std::uint32_t> txn, std::size_t pos,
+            std::uint64_t weight, std::vector<std::uint64_t>& counts) const {
+    std::uint32_t ci = cb;
+    std::size_t ti = pos;
+    while (ci < ce && ti < txn.size()) {
+      const Node& node = nodes_[ci];
+      if (node.code < txn[ti]) {
+        ++ci;
+      } else if (node.code > txn[ti]) {
+        ++ti;
+      } else {
+        if (node.candidate != kNone) counts[node.candidate] += weight;
+        if (node.children_begin != node.children_end) {
+          walk(node.children_begin, node.children_end, txn, ti + 1, weight,
+               counts);
+        }
+        ++ci;
+        ++ti;
+      }
+    }
+  }
+
+  std::vector<std::uint32_t> code_of_item_;  // ItemId -> dense code
+  std::vector<std::vector<std::uint32_t>> recoded_;
+  std::vector<Node> nodes_;
+  std::uint32_t root_begin_ = 0;
+  std::uint32_t root_end_ = 0;
+  std::size_t num_codes_ = 0;
+};
+
+}  // namespace
 
 void PartitionedParams::validate() const {
   mining.validate();
@@ -23,11 +167,22 @@ MiningResult mine_partitioned(const TransactionDb& db,
 
   const auto wall_begin = std::chrono::steady_clock::now();
   const std::size_t p = std::min(params.num_partitions, db.size());
+  const std::uint64_t total_weight = db.total_weight();
+  const std::uint64_t min_count = params.mining.min_count(total_weight);
 
-  // Pass 1: mine each contiguous slice at the same fractional support.
-  // Slices are rebuilt as owned TransactionDbs — in a genuinely
-  // distributed setting these would live on separate nodes. Weights ride
-  // along, so the SON property holds over total weight per partition.
+  ThreadPool pool(params.num_threads);
+  PartitionMetrics& stage = result.metrics.partition_stage;
+  stage.num_partitions = p;
+  stage.num_threads = pool.size();
+  stage.input_rows = db.size();
+
+  // Pass 1: mine each contiguous slice at an exact per-partition integer
+  // threshold. Slices are rebuilt as owned TransactionDbs — in a
+  // genuinely distributed setting these would live on separate nodes.
+  // Weights ride along, and identical rows inside a slice fold into one
+  // weighted row, so the SON property holds over total weight per
+  // partition while the local miners touch only distinct rows.
+  const auto pass1_begin = std::chrono::steady_clock::now();
   std::vector<TransactionDb> parts(p);
   for (std::size_t t = 0; t < db.size(); ++t) {
     const auto txn = db[t];
@@ -35,44 +190,108 @@ MiningResult mine_partitioned(const TransactionDb& db,
   }
 
   std::vector<std::vector<FrequentItemset>> local(p);
-  {
-    ThreadPool pool(params.num_threads);
-    pool.parallel_for(p, [&](std::size_t i) {
-      MiningParams local_params = params.mining;
-      local_params.num_threads = 1;  // parallelism lives at partition level
-      local[i] = mine_fpgrowth(parts[i], local_params).itemsets;
-    });
-    result.metrics.num_workers = pool.size();
-    const SchedulerMetrics sched = pool.metrics();
-    result.metrics.tasks_spawned = sched.tasks_spawned;
-    result.metrics.tasks_stolen = sched.tasks_stolen;
-    result.metrics.peak_queue_length = sched.peak_queue_length;
-    result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
-  }
-
-  // Union of local winners = global candidate set (SON property).
-  SupportMap candidates;
+  pool.parallel_for(p, [&](std::size_t i) {
+    if (params.dedup_partitions) parts[i] = parts[i].dedup();
+    MiningParams local_params = params.mining;
+    local_params.num_threads = 1;  // parallelism lives at partition level
+    // Exact integer scaling of the global threshold: an itemset with
+    // global count >= min_count has count >= ceil(min_count * W_i / W)
+    // in at least one partition, so no float round trip can tighten
+    // (or loosen) the local bar.
+    const std::uint64_t part_weight = parts[i].total_weight();
+    local_params.min_count_override = std::max<std::uint64_t>(
+        1, (min_count * part_weight + total_weight - 1) / total_weight);
+    local[i] = mine_fpgrowth(parts[i], local_params).itemsets;
+  });
+  stage.partition_itemsets.reserve(p);
   for (const auto& part : local) {
-    for (const auto& fi : part) candidates.emplace(fi.items, 0);
+    stage.partition_itemsets.push_back(part.size());
   }
+  for (const auto& part : parts) stage.distinct_rows += part.size();
+  stage.pass1_seconds = seconds_since(pass1_begin);
 
-  // Pass 2: exact global weighted counts in one sweep over the database.
-  for (std::size_t t = 0; t < db.size(); ++t) {
-    const auto txn = db[t];
-    const std::uint64_t w = db.weight(t);
-    for (auto& [items, count] : candidates) {
-      if (is_subset(items, txn)) count += w;
+  // Union of local winners = global candidate set (SON property),
+  // sorted lexicographically so candidate ids are deterministic.
+  const auto pass2_begin = std::chrono::steady_clock::now();
+  std::vector<Itemset> candidates;
+  {
+    std::unordered_set<Itemset, ItemsetHash, ItemsetEq> seen;
+    for (const auto& part : local) {
+      for (const auto& fi : part) seen.insert(fi.items);
+    }
+    candidates.assign(seen.begin(), seen.end());
+    std::sort(candidates.begin(), candidates.end());
+  }
+  stage.candidates = candidates.size();
+
+  if (!candidates.empty()) {
+    const CandidateIndex index(candidates, db.item_id_bound());
+
+    // Pass 2: exact global weighted counts. The deduplicated partition
+    // rows are split into contiguous chunks across the pool; each chunk
+    // owns a full count vector, and chunks reduce in slice order — the
+    // sums are exact integers, so the result is identical for any
+    // thread or chunk count.
+    struct Chunk {
+      std::size_t part;
+      std::size_t begin;
+      std::size_t end;
+    };
+    std::size_t total_rows = 0;
+    for (const auto& part : parts) total_rows += part.size();
+    const std::size_t target_chunks =
+        pool.size() == 1 ? 1
+                         : std::min<std::size_t>(total_rows, pool.size() * 4);
+    std::vector<Chunk> chunks;
+    for (std::size_t i = 0; i < p; ++i) {
+      const std::size_t rows = parts[i].size();
+      if (rows == 0) continue;
+      const std::size_t pieces = std::max<std::size_t>(
+          1, (rows * target_chunks + total_rows - 1) / total_rows);
+      for (std::size_t s = 0; s < pieces; ++s) {
+        chunks.push_back({i, rows * s / pieces, rows * (s + 1) / pieces});
+      }
+    }
+    stage.verify_shards = chunks.size();
+
+    std::vector<std::vector<std::uint64_t>> chunk_counts(
+        chunks.size(), std::vector<std::uint64_t>(candidates.size(), 0));
+    pool.parallel_for(chunks.size(), [&](std::size_t c) {
+      const Chunk& chunk = chunks[c];
+      const TransactionDb& part = parts[chunk.part];
+      std::vector<std::uint64_t>& counts = chunk_counts[c];
+      std::vector<std::uint32_t> scratch;
+      for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
+        index.recode(part[t], scratch);
+        if (!scratch.empty()) index.count(scratch, part.weight(t), counts);
+      }
+    });
+
+    std::vector<std::uint64_t> counts(candidates.size(), 0);
+    for (const auto& chunk : chunk_counts) {
+      for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += chunk[i];
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (counts[i] >= min_count) {
+        result.itemsets.push_back({std::move(candidates[i]), counts[i]});
+      }
     }
   }
+  stage.verified = result.itemsets.size();
+  stage.false_candidate_rate =
+      stage.candidates == 0
+          ? 0.0
+          : static_cast<double>(stage.candidates - stage.verified) /
+                static_cast<double>(stage.candidates);
+  stage.pass2_seconds = seconds_since(pass2_begin);
 
-  const std::uint64_t min_count = params.mining.min_count(db.total_weight());
-  for (const auto& [items, count] : candidates) {
-    if (count >= min_count) result.itemsets.push_back({items, count});
-  }
-  result.metrics.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    wall_begin)
-          .count();
+  result.metrics.num_workers = pool.size();
+  const SchedulerMetrics sched = pool.metrics();
+  result.metrics.tasks_spawned = sched.tasks_spawned;
+  result.metrics.tasks_stolen = sched.tasks_stolen;
+  result.metrics.peak_queue_length = sched.peak_queue_length;
+  result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
+  result.metrics.wall_seconds = seconds_since(wall_begin);
   sort_canonical(result.itemsets);
   return result;
 }

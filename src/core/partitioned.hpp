@@ -1,17 +1,27 @@
 // Partitioned frequent-itemset mining (SON algorithm — Savasere,
-// Omiecinski & Navathe, VLDB 1995).
+// Omiecinski & Navathe, VLDB 1995) — the scale-out path for traces that
+// outgrow one FP-Growth run (the paper mines 100k-850k-job production
+// traces; Sec. VI points at distributed rule mining for larger ones).
 //
-// The paper's related work (Sec. VI) points at distributed rule mining
-// for clusters whose traces outgrow one node. SON is the classic
-// shared-nothing scheme and parallelizes on our thread pool:
-//   pass 1  split D into p partitions; mine each partition independently
-//           at the same *fractional* support (any globally frequent
-//           itemset is frequent in at least one partition — the SON
-//           property), union the local results into a candidate set;
-//   pass 2  count every candidate exactly over the full database and
-//           keep those meeting the global threshold.
+//   pass 1  split D into p contiguous slices; fold each slice's
+//           identical transactions into weighted rows (dedup), then
+//           mine every slice concurrently on the work-stealing pool at
+//           an exact per-partition integer threshold
+//           ceil(min_count * W_p / W) — any globally frequent itemset
+//           is frequent in at least one partition (the SON property),
+//           so the union of local winners is a complete candidate set;
+//   pass 2  count every candidate exactly over the deduplicated
+//           partition rows in one sweep: candidates live in a prefix
+//           index (a trie over dense item codes), each row is walked
+//           once against it, and the per-shard weighted count vectors
+//           reduce deterministically — no per-candidate linear
+//           is_subset scan.
+//
 // The result is EXACTLY the single-machine result (asserted by property
-// tests), at the cost of one extra counting pass.
+// tests across partition and thread counts), at the cost of one extra
+// counting pass. Per-pass shape and timings land in
+// MiningMetrics::partition_stage; docs/SCALING.md covers the design and
+// when to prefer SON over direct FP-Growth.
 #pragma once
 
 #include "core/frequent.hpp"
@@ -23,6 +33,11 @@ struct PartitionedParams {
   MiningParams mining;        // global thresholds
   std::size_t num_partitions = 4;
   std::size_t num_threads = 0;  // 0 = hardware concurrency
+  /// Fold identical transactions inside each partition slice into one
+  /// weighted row before local mining (and before the pass-2 count).
+  /// Support math runs over partition weight, so results are identical
+  /// either way; dedup only shrinks the per-slice work.
+  bool dedup_partitions = true;
 
   void validate() const;
 };

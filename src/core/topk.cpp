@@ -9,10 +9,11 @@ namespace {
 MiningResult mine_at(const TransactionDb& db, std::uint64_t min_count,
                      std::size_t max_length) {
   MiningParams params;
-  // Convert the absolute count back to a fraction that reproduces it:
-  // min_count(db) = ceil(f * |D|), so f = min_count / |D| lands exactly.
-  params.min_support = static_cast<double>(min_count) /
-                       static_cast<double>(db.total_weight());
+  // Hand the absolute count straight to the miner. The old fraction
+  // round trip (f = min_count / |D|, then ceil(f * |D|) inside the
+  // miner) could land on min_count + 1 under floating rounding — e.g.
+  // count 7 over total weight 25 — silently tightening the probe.
+  params.min_count_override = min_count;
   params.max_length = max_length;
   return mine_fpgrowth(db, params);
 }
@@ -29,28 +30,31 @@ TopKResult mine_topk(const TransactionDb& db, std::size_t k,
     return out;
   }
 
-  // Invariant: itemset count at `lo` is >= k (or lo == 1 and the db
-  // simply cannot produce k itemsets); count at `hi + 1` is < k.
+  // Invariant: `best` holds the mining result at `lo`, and its itemset
+  // count is >= k (or lo == 1 and the db simply cannot produce k
+  // itemsets); count at `hi + 1` is < k. Keeping the result of every
+  // successful probe means convergence needs no final re-mine.
   std::uint64_t lo = 1;
   std::uint64_t hi = db.total_weight();
+  MiningResult best = mine_at(db, 1, max_length);
   // Early exit: even the lowest threshold may yield < k itemsets.
-  MiningResult at_lo = mine_at(db, 1, max_length);
-  if (at_lo.itemsets.size() < k) {
-    out.result = std::move(at_lo);
+  if (best.itemsets.size() < k) {
+    out.result = std::move(best);
     out.min_count = 1;
     out.effective_support = 1.0 / static_cast<double>(db.total_weight());
     return out;
   }
   while (lo < hi) {
     const std::uint64_t mid = lo + (hi - lo + 1) / 2;
-    const MiningResult probe = mine_at(db, mid, max_length);
+    MiningResult probe = mine_at(db, mid, max_length);
     if (probe.itemsets.size() >= k) {
       lo = mid;  // threshold can go higher
+      best = std::move(probe);
     } else {
       hi = mid - 1;
     }
   }
-  out.result = mine_at(db, lo, max_length);
+  out.result = std::move(best);
   out.min_count = lo;
   out.effective_support =
       static_cast<double>(lo) / static_cast<double>(db.total_weight());

@@ -300,5 +300,34 @@ TEST(Cli, ItemsetsAlgorithmSelection) {
       run_cli({"itemsets", "--csv", csv, "--algorithm", "magic"}).code, 2);
 }
 
+TEST(Cli, ItemsetsEngineSelection) {
+  const std::string csv = temp_path("cli_engine.csv");
+  ASSERT_EQ(run_cli({"synth", "--trace", "pai", "--jobs", "1500", "--out",
+                     csv})
+                .code,
+            0);
+  // The SON engine must list exactly what direct mining lists.
+  const auto direct = run_cli({"itemsets", "--csv", csv, "--min-support",
+                               "0.1", "--engine", "direct"});
+  const auto son = run_cli({"itemsets", "--csv", csv, "--min-support", "0.1",
+                            "--engine", "son", "--partitions", "3"});
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(son.code, 0) << son.err;
+  EXPECT_EQ(son.out, direct.out);
+
+  // --stats surfaces the partition stage only on the SON path.
+  const auto stats = run_cli({"itemsets", "--csv", csv, "--min-support",
+                              "0.1", "--engine", "son", "--stats"});
+  ASSERT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("partition stage (SON)"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"itemsets", "--csv", csv, "--engine", "magic"}).code, 2);
+  EXPECT_EQ(
+      run_cli({"itemsets", "--csv", csv, "--engine", "son", "--partitions",
+               "0"})
+          .code,
+      2);
+}
+
 }  // namespace
 }  // namespace gpumine::cli

@@ -2,8 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
+#include "analysis/trace_configs.hpp"
+#include "analysis/workflow.hpp"
 #include "core/fpgrowth.hpp"
+#include "core/serialize.hpp"
 #include "mining_test_util.hpp"
+#include "synth/pai.hpp"
+#include "synth/philly.hpp"
+#include "synth/supercloud.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -75,6 +84,113 @@ TEST(Partitioned, Validation) {
   PartitionedParams bad;
   bad.num_partitions = 0;
   EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Partitioned, DedupToggleDoesNotChangeResults) {
+  const auto db = testutil::random_db(/*seed=*/3, /*num_txns=*/300,
+                                      /*num_items=*/6);  // heavy duplication
+  PartitionedParams params;
+  params.mining.min_support = 0.1;
+  params.num_partitions = 4;
+  const auto deduped = mine_partitioned(db, params);
+  params.dedup_partitions = false;
+  const auto raw = mine_partitioned(db, params);
+  expect_same(deduped.itemsets, raw.itemsets);
+  // With dedup off, the pass-2 scan runs over the raw rows.
+  EXPECT_EQ(raw.metrics.partition_stage.distinct_rows, db.size());
+  EXPECT_LT(deduped.metrics.partition_stage.distinct_rows, db.size());
+}
+
+TEST(Partitioned, PartitionMetricsPopulated) {
+  const auto db = testutil::random_db(/*seed=*/1, /*num_txns=*/200,
+                                      /*num_items=*/11);
+  PartitionedParams params;
+  params.mining.min_support = 0.08;
+  params.num_partitions = 4;
+  params.num_threads = 2;
+  const auto result = mine_partitioned(db, params);
+  const PartitionMetrics& stage = result.metrics.partition_stage;
+  ASSERT_TRUE(stage.populated());
+  EXPECT_EQ(stage.num_partitions, 4u);
+  EXPECT_EQ(stage.partition_itemsets.size(), 4u);
+  EXPECT_EQ(stage.input_rows, db.size());
+  EXPECT_LE(stage.distinct_rows, stage.input_rows);
+  EXPECT_EQ(stage.verified, result.itemsets.size());
+  EXPECT_GE(stage.candidates, stage.verified);
+  EXPECT_GE(stage.false_candidate_rate, 0.0);
+  EXPECT_LE(stage.false_candidate_rate, 1.0);
+  EXPECT_GE(stage.verify_shards, 1u);
+  // The stage renders into the stats summary and the metrics JSON.
+  EXPECT_NE(result.metrics.summary().find("partition stage"),
+            std::string::npos);
+  EXPECT_NE(result.metrics.to_json().find("\"partition_stage\""),
+            std::string::npos);
+  // Direct FP-Growth leaves the block unpopulated (and unrendered).
+  const auto direct = mine_fpgrowth(db, params.mining);
+  EXPECT_FALSE(direct.metrics.partition_stage.populated());
+  EXPECT_EQ(direct.metrics.summary().find("partition stage"),
+            std::string::npos);
+}
+
+// --- SON == direct FP-Growth, byte for byte, on the synthetic traces ---
+//
+// Archives carry every item id and support count, so string equality of
+// save_mining_result output is the strongest equivalence check we have.
+// Sweeps partitions x threads per the paper-scale traces (PAI, Philly,
+// SuperCloud synth generators through their canonical prep configs).
+
+std::string archive_bytes(const MiningResult& result,
+                          const ItemCatalog& catalog) {
+  std::ostringstream out;
+  save_mining_result(result, catalog, out);
+  return out.str();
+}
+
+void check_son_equivalence(const TransactionDb& db, const ItemCatalog& catalog,
+                           const char* label) {
+  MiningParams mining;
+  mining.min_support = 0.05;
+  mining.max_length = 5;
+  const auto reference = mine_fpgrowth(db, mining);
+  ASSERT_FALSE(reference.itemsets.empty()) << label;
+  const std::string expected = archive_bytes(reference, catalog);
+
+  for (const std::size_t partitions : {1u, 4u, 16u}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      PartitionedParams params;
+      params.mining = mining;
+      params.num_partitions = partitions;
+      params.num_threads = threads;
+      const auto son = mine_partitioned(db, params);
+      EXPECT_EQ(archive_bytes(son, catalog), expected)
+          << label << " partitions=" << partitions << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PartitionedEquivalence, MatchesFpGrowthOnPai) {
+  synth::PaiConfig config;
+  config.num_jobs = 2000;
+  const auto prepared = analysis::prepare(synth::generate_pai(config).merged(),
+                                          analysis::pai_config());
+  check_son_equivalence(prepared.db, prepared.catalog, "pai");
+}
+
+TEST(PartitionedEquivalence, MatchesFpGrowthOnPhilly) {
+  synth::PhillyConfig config;
+  config.num_jobs = 2000;
+  const auto prepared = analysis::prepare(
+      synth::generate_philly(config).merged(), analysis::philly_config());
+  check_son_equivalence(prepared.db, prepared.catalog, "philly");
+}
+
+TEST(PartitionedEquivalence, MatchesFpGrowthOnSuperCloud) {
+  synth::SuperCloudConfig config;
+  config.num_jobs = 2000;
+  const auto prepared =
+      analysis::prepare(synth::generate_supercloud(config).merged(),
+                        analysis::supercloud_config());
+  check_son_equivalence(prepared.db, prepared.catalog, "supercloud");
 }
 
 }  // namespace

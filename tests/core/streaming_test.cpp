@@ -46,6 +46,26 @@ TEST(SlidingWindow, EvictionChangesResults) {
   EXPECT_EQ(after.itemsets[0].items, Itemset{1});
 }
 
+TEST(SlidingWindow, BurstyWindowMatchesRawWindowByteForByte) {
+  // A bursty stream leaves many identical rows in the window; mine()
+  // folds them into weighted rows, and the result must stay identical
+  // to mining the raw window — itemsets, counts and db_size.
+  MiningParams params;
+  params.min_support = 0.2;
+  SlidingWindowMiner miner(/*window_size=*/30, params);
+  TransactionDb raw;
+  for (int i = 0; i < 30; ++i) {
+    const Itemset txn = (i % 3 == 0) ? Itemset{1, 2} : Itemset{0, 1};
+    miner.push(txn);
+    raw.add(txn);
+  }
+  const MiningResult mined = miner.mine();
+  const MiningResult expected = mine_fpgrowth(raw, params);
+  testutil::expect_same(mined.itemsets, expected.itemsets);
+  EXPECT_EQ(mined.db_size, expected.db_size);
+  EXPECT_EQ(mined.db_size, 30u);  // weights, not distinct rows
+}
+
 TEST(SlidingWindow, Validation) {
   EXPECT_THROW(SlidingWindowMiner(0, MiningParams{}), std::invalid_argument);
   MiningParams bad;
@@ -123,6 +143,30 @@ TEST(LossyCounter, DuplicateItemsInTransactionCountOnce) {
   counter.push(Itemset{3, 3, 3});
   const auto hot = counter.frequent(1.0);
   ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].count, 1u);
+}
+
+TEST(LossyCounter, FrequentOnEmptyStreamIsEmpty) {
+  // frequent() before any push must not divide by the zero stream
+  // length or report phantom items.
+  LossyCounter counter(/*epsilon=*/0.1);
+  EXPECT_EQ(counter.processed(), 0u);
+  EXPECT_EQ(counter.tracked(), 0u);
+  EXPECT_TRUE(counter.frequent(0.5).empty());
+}
+
+TEST(LossyCounter, EmptyTransactionsAdvanceTheStreamOnly) {
+  LossyCounter counter(/*epsilon=*/0.1);  // bucket width 10
+  // A full bucket of empty transactions: the boundary eviction runs
+  // with nothing tracked, then a real item still counts normally.
+  for (int i = 0; i < 10; ++i) counter.push(Itemset{});
+  EXPECT_EQ(counter.processed(), 10u);
+  EXPECT_EQ(counter.tracked(), 0u);
+  EXPECT_TRUE(counter.frequent(0.5).empty());
+  counter.push(Itemset{4});
+  const auto hot = counter.frequent(0.01);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].item, 4u);
   EXPECT_EQ(hot[0].count, 1u);
 }
 

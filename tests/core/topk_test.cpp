@@ -58,6 +58,23 @@ TEST(TopK, MaxLengthRespected) {
   }
 }
 
+TEST(TopK, AbsoluteThresholdSurvivesFloatRoundTrip) {
+  // Regression: probing used to convert the absolute count back to a
+  // fraction (f = 7/25) and re-derive it as ceil(f * 25), which lands
+  // on 8 under FP rounding — the probe at the true answer then saw too
+  // few itemsets and the search converged one below the maximal
+  // threshold. min_count_override hands the count over verbatim.
+  TransactionDb db;
+  db.add({0, 1}, /*weight=*/7);
+  db.add({1}, /*weight=*/18);  // total weight 25
+  // Supports: {1} = 25, {0} = 7, {0, 1} = 7.
+  const TopKResult out = mine_topk(db, 3);
+  EXPECT_EQ(out.min_count, 7u);
+  ASSERT_EQ(out.result.itemsets.size(), 3u);
+  for (const auto& fi : out.result.itemsets) EXPECT_GE(fi.count, 7u);
+  EXPECT_DOUBLE_EQ(out.effective_support, 7.0 / 25.0);
+}
+
 TEST(TopK, EmptyDatabaseAndValidation) {
   TransactionDb db;
   EXPECT_TRUE(mine_topk(db, 5).result.itemsets.empty());
