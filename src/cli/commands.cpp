@@ -7,9 +7,13 @@
 #include "core/significance.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "analysis/report.hpp"
 #include "analysis/workflow.hpp"
@@ -18,7 +22,11 @@
 #include "analysis/export.hpp"
 #include "core/closed.hpp"
 #include "core/serialize.hpp"
+#include "core/snapshot.hpp"
 #include "prep/csv.hpp"
+#include "serve/handler.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/server.hpp"
 #include "trace/rng.hpp"
 #include "synth/pai.hpp"
 #include "synth/philly.hpp"
@@ -142,6 +150,32 @@ Result<LoadedTrace> load_trace(const Args& args) {
   return loaded;
 }
 
+// SIGINT/SIGTERM flag for `gpumine serve` (async-signal-safe type).
+volatile std::sig_atomic_t g_serve_stop = 0;
+extern "C" void handle_serve_signal(int) { g_serve_stop = 1; }
+
+// Percent-encodes everything outside the unreserved set, so item names
+// with spaces, '%', '&' or '=' survive the query-string round trip.
+std::string percent_encode(const std::string& text) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const bool unreserved = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved) {
+      out += c;
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out += '%';
+      out += hex[byte >> 4];
+      out += hex[byte & 0xF];
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int run_help(std::ostream& out) {
@@ -170,6 +204,12 @@ int run_help(std::ostream& out) {
          "[--fdr Q] [--negative-confidence F]\n"
          "  gpumine compare --a x.itemsets --b y.itemsets --keyword ITEM "
          "[--min-lift F]\n"
+         "  gpumine snapshot (--csv trace.csv | --from-itemsets FILE) "
+         "--out FILE [+ mine flags]\n"
+         "  gpumine serve --snapshot FILE [--host H] [--port P] "
+         "[--threads N] [--check]\n"
+         "  gpumine query [--host H] [--port P] (--keyword ITEM | "
+         "--items A,B | --stats | --reload | --health)\n"
          "  gpumine help\n";
   return 0;
 }
@@ -680,6 +720,220 @@ int run_compare(const std::vector<std::string>& args_raw, std::ostream& out,
   return 0;
 }
 
+int run_snapshot(const std::vector<std::string>& args_raw, std::ostream& out,
+                 std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string out_path = args.get_or("out", "");
+  if (out_path.empty()) {
+    err << "--out is required (snapshot file to write)\n";
+    return 2;
+  }
+
+  core::RuleSnapshot snapshot;
+  if (const auto archive_path = args.get("from-itemsets");
+      archive_path.has_value()) {
+    // Convert a v1 text archive (`itemsets --save`); rule and pruning
+    // thresholds come from the flags, as in `mine --load`.
+    const auto min_lift = args.get_double("min-lift", 1.5);
+    const auto c_lift = args.get_double("c-lift", 1.5);
+    const auto c_supp = args.get_double("c-supp", 1.5);
+    const auto threads = args.get_uint("threads", 1);
+    if (!min_lift.ok() || !c_lift.ok() || !c_supp.ok() || !threads.ok()) {
+      err << (!min_lift.ok() ? min_lift.error()
+              : !c_lift.ok() ? c_lift.error()
+              : !c_supp.ok() ? c_supp.error()
+                             : threads.error())
+                 .to_string()
+          << "\n";
+      return 2;
+    }
+    if (!reject_unused(args, err)) return 2;
+    auto loaded = core::load_mining_result_file(*archive_path);
+    if (!loaded.ok()) {
+      err << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    core::RuleParams rule_params;
+    rule_params.min_lift = min_lift.value();
+    rule_params.num_threads = static_cast<std::size_t>(threads.value());
+    core::PruneParams prune_params;
+    prune_params.c_lift = c_lift.value();
+    prune_params.c_supp = c_supp.value();
+    core::LoadedMiningResult archive = std::move(loaded).value();
+    snapshot = core::build_rule_snapshot(std::move(archive.result),
+                                         std::move(archive.catalog),
+                                         rule_params, prune_params);
+  } else {
+    auto loaded = load_trace(args);
+    if (!loaded.ok()) {
+      err << loaded.error().to_string() << "\n";
+      return 2;
+    }
+    if (!reject_unused(args, err)) return 2;
+    LoadedTrace trace = std::move(loaded).value();
+    const analysis::WorkflowConfig config = trace.config;
+    auto mined = analysis::mine(std::move(trace.table), config);
+    snapshot = core::build_rule_snapshot(std::move(mined.mined),
+                                         std::move(mined.prepared.catalog),
+                                         config.rules, config.pruning);
+  }
+
+  const auto saved = core::save_rule_snapshot_file(snapshot, out_path);
+  if (!saved.ok()) {
+    err << saved.error().to_string() << "\n";
+    return 1;
+  }
+  out << "wrote snapshot: " << snapshot.catalog.size() << " items, "
+      << snapshot.result.itemsets.size() << " itemsets, "
+      << snapshot.rules.size() << " rules to " << out_path << "\n";
+  return 0;
+}
+
+int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
+              std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string snapshot_path = args.get_or("snapshot", "");
+  const std::string host = args.get_or("host", "127.0.0.1");
+  const auto port = args.get_uint("port", 8080);
+  const auto threads = args.get_uint("threads", 4);
+  const bool check_only = args.has("check");
+  if (!port.ok() || !threads.ok()) {
+    err << (!port.ok() ? port.error() : threads.error()).to_string() << "\n";
+    return 2;
+  }
+  if (snapshot_path.empty()) {
+    err << "--snapshot is required (file from `gpumine snapshot`)\n";
+    return 2;
+  }
+  if (port.value() > 65535) {
+    err << "--port must be <= 65535\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+
+  const auto build_begin = std::chrono::steady_clock::now();
+  auto snapshot = core::load_rule_snapshot_file(snapshot_path);
+  if (!snapshot.ok()) {
+    err << snapshot.error().to_string() << "\n";
+    return 1;
+  }
+  auto engine = std::make_shared<const serve::QueryEngine>(
+      std::move(snapshot).value());
+  const double build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    build_begin)
+          .count();
+  out << "loaded " << engine->num_rules() << " rules over "
+      << engine->catalog().size() << " items ("
+      << engine->num_keywords_with_rules() << " keywords with rules) in "
+      << build_seconds << "s\n";
+
+  serve::RequestHandler handler(std::move(engine), snapshot_path);
+  serve::ServerConfig config;
+  config.host = host;
+  config.port = static_cast<std::uint16_t>(port.value());
+  config.num_threads = static_cast<std::size_t>(threads.value());
+  serve::Server server(handler, config);
+  const auto started = server.start();
+  if (!started.ok()) {
+    err << started.error().to_string() << "\n";
+    return 1;
+  }
+  out << "serving on " << host << ':' << server.port() << " with "
+      << config.num_threads << " threads\n";
+  if (check_only) {
+    server.stop();
+    return 0;
+  }
+
+  g_serve_stop = 0;
+  std::signal(SIGINT, handle_serve_signal);
+  std::signal(SIGTERM, handle_serve_signal);
+  out.flush();
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  server.stop();
+  out << "stopped\n";
+  return 0;
+}
+
+int run_query(const std::vector<std::string>& args_raw, std::ostream& out,
+              std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string host = args.get_or("host", "127.0.0.1");
+  const auto port = args.get_uint("port", 8080);
+  const std::string keyword = args.get_or("keyword", "");
+  const std::string items = args.get_or("items", "");
+  const bool stats = args.has("stats");
+  const bool reload = args.has("reload");
+  const bool health = args.has("health");
+  if (!port.ok()) {
+    err << port.error().to_string() << "\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+  const int actions = (keyword.empty() ? 0 : 1) + (items.empty() ? 0 : 1) +
+                      (stats ? 1 : 0) + (reload ? 1 : 0) + (health ? 1 : 0);
+  if (actions != 1) {
+    err << "pick exactly one of --keyword ITEM, --items A,B, --stats, "
+           "--reload, --health\n";
+    return 2;
+  }
+
+  std::string method = "GET";
+  std::string target;
+  if (!keyword.empty()) {
+    target = "/query?keyword=" + percent_encode(keyword);
+  } else if (!items.empty()) {
+    // Commas separate items server-side; encode each name around them.
+    target = "/support?items=";
+    bool first = true;
+    for (const std::string& name : split_list(items)) {
+      if (!first) target += ',';
+      first = false;
+      target += percent_encode(name);
+    }
+  } else if (stats) {
+    target = "/stats";
+  } else if (reload) {
+    method = "POST";
+    target = "/reload";
+  } else {
+    target = "/healthz";
+  }
+
+  const auto response = serve::http_request(
+      host, static_cast<std::uint16_t>(port.value()), method, target);
+  if (!response.ok()) {
+    err << response.error().to_string() << "\n";
+    return 1;
+  }
+  out << response.value().body;
+  if (response.value().body.empty() || response.value().body.back() != '\n') {
+    out << "\n";
+  }
+  return response.value().status >= 200 && response.value().status < 300 ? 0
+                                                                         : 1;
+}
+
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
@@ -694,6 +948,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "report") return run_report(rest, out, err);
   if (command == "digest") return run_digest(rest, out, err);
   if (command == "compare") return run_compare(rest, out, err);
+  if (command == "snapshot") return run_snapshot(rest, out, err);
+  if (command == "serve") return run_serve(rest, out, err);
+  if (command == "query") return run_query(rest, out, err);
   err << "unknown command '" << command << "' (try: gpumine help)\n";
   return 2;
 }

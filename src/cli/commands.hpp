@@ -12,6 +12,11 @@
 //                    [--drop col,col] [--max-rows N]
 //   gpumine predict  --csv trace.csv --target ITEM [--holdout F]
 //                    [--min-confidence F] [--seed N] [+ mine flags]
+//   gpumine snapshot (--csv trace.csv | --from-itemsets FILE) --out FILE
+//                    [+ mine flags]
+//   gpumine serve    --snapshot FILE [--host H] [--port P] [--threads N]
+//   gpumine query    [--host H] [--port P] (--keyword ITEM |
+//                    --items A,B | --stats | --reload | --health)
 //   gpumine help
 //
 // `itemsets` and `mine` bin every numeric CSV column with the paper's
@@ -50,5 +55,16 @@ int run_digest(const std::vector<std::string>& args, std::ostream& out,
 /// to each system.
 int run_compare(const std::vector<std::string>& args, std::ostream& out,
                 std::ostream& err);
+/// Builds a v2 rule snapshot (core/snapshot.hpp) from a trace CSV or a
+/// v1 itemset archive, for `gpumine serve`.
+int run_snapshot(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err);
+/// Serves rule queries from a snapshot file over HTTP + line protocol;
+/// blocks until SIGINT/SIGTERM (or returns immediately with --check).
+int run_serve(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
+/// One-shot client for a running `gpumine serve` instance.
+int run_query(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err);
 
 }  // namespace gpumine::cli

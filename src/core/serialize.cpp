@@ -138,8 +138,11 @@ Result<bool> save_mining_result_file(const MiningResult& result,
   std::ofstream out(path, std::ios::binary);
   if (!out) return Error{path, "cannot open file for writing"};
   save_mining_result(result, catalog, out);
-  out.flush();
-  if (!out) return Error{path, "write failed"};
+  // close() flushes and surfaces failures deferred to the final buffer
+  // write (e.g. a full disk) that a bare flush() can miss; checking the
+  // stream state afterwards is what turns silent data loss into an Error.
+  out.close();
+  if (out.fail()) return Error{path, "write failed"};
   return true;
 }
 

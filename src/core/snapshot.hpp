@@ -1,0 +1,84 @@
+// RuleSnapshot: the v2 binary archive behind the serve subsystem.
+//
+// The v1 text format in core/serialize.hpp archives the frequent-itemset
+// family for offline replay; a query server wants more: the pre-generated
+// rule list (so no rule enumeration happens on the serving path), the
+// generation/pruning parameters that produced it, and an integrity check
+// so a half-written snapshot is rejected instead of served. RuleSnapshot
+// is that bundle, persisted as a little-endian binary image:
+//
+//   bytes  0..7   magic "GPMSNAP2"
+//   bytes  8..11  u32 format version (2)
+//   bytes 12..19  u64 payload size in bytes
+//   bytes 20..27  u64 FNV-1a64 checksum of the payload
+//   bytes 28..    payload:
+//     u64 db_size
+//     f64 rule min_confidence, f64 rule min_lift      (as IEEE-754 bits)
+//     f64 prune c_lift, f64 prune c_supp
+//     u32 item count, then per item: u32 byte length + name bytes
+//     u64 itemset count, then per itemset: u64 count, u32 k, k x u32 ids
+//     u64 rule count, then per rule: u64 joint count,
+//         u32 |antecedent| + ids, u32 |consequent| + ids
+//
+// Rules store only their structure and joint count: support, confidence,
+// lift, leverage and conviction are recomputed on load through
+// core::make_rule using the itemset family itself (both rule sides are
+// frequent by anti-monotonicity), so a loaded snapshot reproduces the
+// generator's doubles bit for bit and the format never carries derived
+// data that could drift out of sync.
+//
+// Loading validates everything: magic, version, payload size vs bytes
+// actually present (truncation), checksum, dense item ids, canonical
+// itemsets, counts within db_size, and rule sides that exist in the
+// itemset family. Malformed input yields an Error, never an exception.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.hpp"
+#include "core/frequent.hpp"
+#include "core/item_catalog.hpp"
+#include "core/pruning.hpp"
+#include "core/rules.hpp"
+
+namespace gpumine::core {
+
+/// Format version written by save_rule_snapshot (the text archive of
+/// core/serialize.hpp is v1).
+inline constexpr std::uint32_t kRuleSnapshotVersion = 2;
+
+/// Everything the query path needs, mined and generated ahead of time.
+struct RuleSnapshot {
+  MiningResult result;      // frequent-itemset family + db_size
+  ItemCatalog catalog;      // full vocabulary (keyword lookups by name)
+  std::vector<Rule> rules;  // pre-generated, sort_rules order
+  RuleParams rule_params;   // thresholds the rules were generated with
+  PruneParams prune_params;  // slack factors for per-keyword pruning
+};
+
+/// Generates the rule list from `result` (via one shared SupportIndex)
+/// and bundles it with the catalog and parameters. `rule_params` is
+/// honored including num_threads; the output rule order is deterministic
+/// either way.
+[[nodiscard]] RuleSnapshot build_rule_snapshot(MiningResult result,
+                                               ItemCatalog catalog,
+                                               const RuleParams& rule_params,
+                                               const PruneParams& prune_params);
+
+/// Writes the binary image described above.
+void save_rule_snapshot(const RuleSnapshot& snapshot, std::ostream& out);
+
+/// Parses and validates a binary image; any corruption (truncation,
+/// checksum mismatch, out-of-range ids, impossible counts) yields an
+/// Error naming the offending section.
+[[nodiscard]] Result<RuleSnapshot> load_rule_snapshot(std::istream& in);
+
+/// File wrappers. Saving reports stream failures (e.g. a full disk) as
+/// an Error, including ones only surfaced when the file is closed.
+[[nodiscard]] Result<bool> save_rule_snapshot_file(const RuleSnapshot& snapshot,
+                                                   const std::string& path);
+[[nodiscard]] Result<RuleSnapshot> load_rule_snapshot_file(
+    const std::string& path);
+
+}  // namespace gpumine::core

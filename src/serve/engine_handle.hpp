@@ -1,0 +1,70 @@
+// EngineHandle: lock-free publication point for snapshot hot-reload.
+//
+// The server's reader threads fetch the current QueryEngine through a
+// shared_ptr; a reload builds a complete replacement engine off to the
+// side and publishes it with one atomic pointer swap. Readers holding
+// the old engine keep a valid reference until their last shared_ptr
+// drops — no reader ever blocks on a reload, and no reload waits for
+// readers (RCU-style grace via shared_ptr refcounts).
+//
+// Implementation: std::atomic<std::shared_ptr<T>> where the standard
+// library provides it (libstdc++ 12+, __cpp_lib_atomic_shared_ptr);
+// otherwise a shared_mutex guarding only the pointer copy — the
+// fallback's critical section is a refcount increment, never a query.
+#pragma once
+
+#include <memory>
+#include <version>
+
+#if defined(__cpp_lib_atomic_shared_ptr)
+#include <atomic>
+#else
+#include <mutex>
+#include <shared_mutex>
+#endif
+
+namespace gpumine::serve {
+
+template <typename Engine>
+class EngineHandle {
+ public:
+  EngineHandle() = default;
+  explicit EngineHandle(std::shared_ptr<const Engine> engine) {
+    publish(std::move(engine));
+  }
+
+  EngineHandle(const EngineHandle&) = delete;
+  EngineHandle& operator=(const EngineHandle&) = delete;
+
+  /// Current engine; never nullptr once publish() has run. The returned
+  /// shared_ptr keeps the engine alive across a concurrent reload.
+  [[nodiscard]] std::shared_ptr<const Engine> get() const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    return engine_.load(std::memory_order_acquire);
+#else
+    std::shared_lock lock(mutex_);
+    return engine_;
+#endif
+  }
+
+  /// Atomically replaces the engine. The old engine dies when the last
+  /// in-flight reader releases it.
+  void publish(std::shared_ptr<const Engine> engine) {
+#if defined(__cpp_lib_atomic_shared_ptr)
+    engine_.store(std::move(engine), std::memory_order_release);
+#else
+    std::unique_lock lock(mutex_);
+    engine_ = std::move(engine);
+#endif
+  }
+
+ private:
+#if defined(__cpp_lib_atomic_shared_ptr)
+  std::atomic<std::shared_ptr<const Engine>> engine_;
+#else
+  mutable std::shared_mutex mutex_;
+  std::shared_ptr<const Engine> engine_;
+#endif
+};
+
+}  // namespace gpumine::serve

@@ -1,0 +1,252 @@
+#include "serve/handler.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "analysis/export.hpp"
+#include "core/snapshot.hpp"
+
+namespace gpumine::serve {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+HttpResponse error_response(int status, const std::string& message) {
+  return {status, "application/json",
+          "{\"error\":\"" + analysis::json_escape(message) + "\"}"};
+}
+
+/// Value of `name` in a query string ("a=1&b=2"), percent-decoded;
+/// nullopt when absent.
+std::optional<std::string> query_param(std::string_view query,
+                                       std::string_view name) {
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (key == name) {
+      return url_decode(eq == std::string_view::npos ? std::string_view{}
+                                                     : pair.substr(eq + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split_names(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+Endpoint classify(std::string_view path) {
+  if (path == "/query") return Endpoint::kQuery;
+  if (path == "/support") return Endpoint::kSupport;
+  if (path == "/stats") return Endpoint::kStats;
+  if (path == "/reload") return Endpoint::kReload;
+  return Endpoint::kOther;
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size()) {
+      const int hi = hex_digit(text[i + 1]);
+      const int lo = hex_digit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+RequestHandler::RequestHandler(std::shared_ptr<const QueryEngine> engine,
+                               std::string snapshot_path)
+    : handle_(std::move(engine)), snapshot_path_(std::move(snapshot_path)) {}
+
+HttpResponse RequestHandler::handle(std::string_view method,
+                                    std::string_view target) {
+  const std::size_t question = target.find('?');
+  const std::string_view path = question == std::string_view::npos
+                                    ? target
+                                    : target.substr(0, question);
+  const auto begin = std::chrono::steady_clock::now();
+  HttpResponse response = route(method, target);
+  const auto nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+  metrics_.record(classify(path), response.status, nanos);
+  return response;
+}
+
+HttpResponse RequestHandler::route(std::string_view method,
+                                   std::string_view target) {
+  const std::size_t question = target.find('?');
+  const std::string_view path = question == std::string_view::npos
+                                    ? target
+                                    : target.substr(0, question);
+  const std::string_view query = question == std::string_view::npos
+                                     ? std::string_view{}
+                                     : target.substr(question + 1);
+
+  if (path == "/healthz") {
+    return {200, "text/plain", "ok\n"};
+  }
+  if (path == "/query") {
+    const auto keyword = query_param(query, "keyword");
+    if (!keyword || keyword->empty()) {
+      return error_response(400, "missing ?keyword=");
+    }
+    const std::shared_ptr<const QueryEngine> engine = handle_.get();
+    const std::string* json = engine->query_json(*keyword);
+    if (json == nullptr) {
+      return error_response(404,
+                            "keyword '" + *keyword + "' is not an item");
+    }
+    // One string copy; the engine's cached bytes are the response.
+    return {200, "application/json", *json};
+  }
+  if (path == "/support") {
+    const auto items = query_param(query, "items");
+    if (!items || items->empty()) {
+      return error_response(400, "missing ?items=A,B");
+    }
+    const std::vector<std::string> names = split_names(*items);
+    const std::shared_ptr<const QueryEngine> engine = handle_.get();
+    const auto count = engine->support_count(names);
+    std::string body = "{\"items\":[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) body += ',';
+      body += '"' + analysis::json_escape(names[i]) + '"';
+    }
+    body += "],\"frequent\":";
+    if (count.has_value()) {
+      const double support =
+          engine->db_size() == 0
+              ? 0.0
+              : static_cast<double>(*count) /
+                    static_cast<double>(engine->db_size());
+      body += "true,\"count\":" + std::to_string(*count) +
+              ",\"support\":" + fmt(support);
+    } else {
+      body += "false,\"count\":0,\"support\":0";
+    }
+    body += '}';
+    return {200, "application/json", std::move(body)};
+  }
+  if (path == "/stats") {
+    const std::shared_ptr<const QueryEngine> engine = handle_.get();
+    std::string body = "{\"server\":" + metrics_.snapshot().to_json();
+    body += ",\"snapshot\":{\"db_size\":" + std::to_string(engine->db_size());
+    body += ",\"items\":" + std::to_string(engine->catalog().size());
+    body += ",\"itemsets\":" + std::to_string(engine->num_itemsets());
+    body += ",\"rules\":" + std::to_string(engine->num_rules());
+    body += ",\"keywords_with_rules\":" +
+            std::to_string(engine->num_keywords_with_rules());
+    body += "}}";
+    return {200, "application/json", std::move(body)};
+  }
+  if (path == "/reload") {
+    if (method != "POST" && method != "GET") {
+      return error_response(405, "use POST /reload");
+    }
+    const auto reloaded = reload();
+    metrics_.record_reload(reloaded.ok());
+    if (!reloaded.ok()) {
+      return error_response(500, reloaded.error().to_string());
+    }
+    const std::shared_ptr<const QueryEngine> engine = handle_.get();
+    return {200, "application/json",
+            "{\"reloaded\":true,\"rules\":" +
+                std::to_string(engine->num_rules()) + "}"};
+  }
+  return error_response(404, "no such endpoint");
+}
+
+HttpResponse RequestHandler::handle_line(std::string_view line) {
+  // Strip trailing CR (telnet/netcat clients).
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  const std::size_t space = line.find(' ');
+  const std::string_view verb =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view{}
+                                      : line.substr(space + 1);
+  const auto encode = [](std::string_view text) {
+    // Minimal escaping for the internal round trip: the handler decodes
+    // %XX, so encode the two separators that would split the target.
+    std::string out;
+    for (const char c : text) {
+      if (c == '%') {
+        out += "%25";
+      } else if (c == '&') {
+        out += "%26";
+      } else if (c == '+') {
+        out += "%2B";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  if (verb == "QUERY") return handle("GET", "/query?keyword=" + encode(rest));
+  if (verb == "SUPPORT") {
+    return handle("GET", "/support?items=" + encode(rest));
+  }
+  if (verb == "STATS") return handle("GET", "/stats");
+  if (verb == "RELOAD") return handle("POST", "/reload");
+  if (verb == "HEALTH") return handle("GET", "/healthz");
+  return error_response(400, "unknown command (QUERY/SUPPORT/STATS/RELOAD)");
+}
+
+Result<bool> RequestHandler::reload() {
+  if (snapshot_path_.empty()) {
+    return Error{"reload", "no snapshot path configured"};
+  }
+  auto snapshot = core::load_rule_snapshot_file(snapshot_path_);
+  if (!snapshot.ok()) return snapshot.error();
+  handle_.publish(
+      std::make_shared<const QueryEngine>(std::move(snapshot).value()));
+  return true;
+}
+
+}  // namespace gpumine::serve

@@ -1,0 +1,125 @@
+#include "serve/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpumine::serve {
+namespace {
+
+double to_us(std::uint64_t nanos) {
+  return static_cast<double>(nanos) * 1e-3;
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t LatencyHistogram::percentile_ns(double p) const {
+  std::array<std::uint64_t, kBuckets> counts;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested observation, 1-based; ceil keeps p=0.5 of a
+  // 2-element histogram on the first element.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank) {
+      // Bucket i holds values with bit_width == i: upper bound 2^i - 1.
+      return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return (std::uint64_t{1} << (kBuckets - 1)) - 1;
+}
+
+const char* endpoint_name(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kQuery:
+      return "query";
+    case Endpoint::kSupport:
+      return "support";
+    case Endpoint::kStats:
+      return "stats";
+    case Endpoint::kReload:
+      return "reload";
+    case Endpoint::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+void ServerMetrics::record(Endpoint endpoint, int status,
+                           std::uint64_t nanos) {
+  PerEndpoint& e = endpoints_[static_cast<std::size_t>(endpoint)];
+  e.requests.fetch_add(1, std::memory_order_relaxed);
+  if (status < 200 || status >= 300) {
+    e.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  e.latency.record(nanos);
+}
+
+void ServerMetrics::record_reload(bool ok) {
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) reload_failures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot out;
+  out.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  for (std::size_t i = 0; i < kNumEndpoints; ++i) {
+    const PerEndpoint& e = endpoints_[i];
+    EndpointSnapshot s;
+    s.name = endpoint_name(static_cast<Endpoint>(i));
+    s.requests = e.requests.load(std::memory_order_relaxed);
+    s.errors = e.errors.load(std::memory_order_relaxed);
+    s.p50_us = to_us(e.latency.percentile_ns(0.50));
+    s.p95_us = to_us(e.latency.percentile_ns(0.95));
+    s.p99_us = to_us(e.latency.percentile_ns(0.99));
+    out.total_requests += s.requests;
+    out.endpoints.push_back(std::move(s));
+  }
+  out.reloads = reloads_.load(std::memory_order_relaxed);
+  out.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  out.qps = out.uptime_seconds > 0.0
+                ? static_cast<double>(out.total_requests) / out.uptime_seconds
+                : 0.0;
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string json = "{\"uptime_seconds\":" + fmt(uptime_seconds);
+  json += ",\"total_requests\":" + std::to_string(total_requests);
+  json += ",\"qps\":" + fmt(qps);
+  json += ",\"reloads\":" + std::to_string(reloads);
+  json += ",\"reload_failures\":" + std::to_string(reload_failures);
+  json += ",\"endpoints\":[";
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    if (i > 0) json += ',';
+    const EndpointSnapshot& e = endpoints[i];
+    json += "{\"name\":\"" + e.name + "\"";
+    json += ",\"requests\":" + std::to_string(e.requests);
+    json += ",\"errors\":" + std::to_string(e.errors);
+    json += ",\"p50_us\":" + fmt(e.p50_us);
+    json += ",\"p95_us\":" + fmt(e.p95_us);
+    json += ",\"p99_us\":" + fmt(e.p99_us);
+    json += '}';
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace gpumine::serve

@@ -1,0 +1,111 @@
+// Server-side observability: per-endpoint request counters and latency
+// histograms, cheap enough to update on every request from any thread.
+//
+// Latencies land in a fixed array of power-of-two nanosecond buckets
+// (bucket i counts latencies with bit_width(ns) == i, i.e. the range
+// [2^(i-1), 2^i)), each an independent relaxed atomic — recording is a
+// clock read plus one fetch_add, with no locks on the serving path.
+// Percentiles are read back as the upper bound of the bucket holding
+// the requested rank: an estimate within 2x of the true latency, which
+// is what a tail-latency gate needs (the bench asserts against these).
+//
+// ServerMetrics aggregates one histogram per endpoint plus error and
+// reload counters; snapshot() returns a consistent-enough copy for
+// /stats (individual counters are exact, cross-counter skew is bounded
+// by in-flight requests).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpumine::serve {
+
+/// Lock-free log2-bucket latency histogram (nanoseconds).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;  // up to ~78 hours
+
+  void record(std::uint64_t nanos) {
+    std::size_t bucket = std::bit_width(nanos);
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& b : buckets_) sum += b.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Upper bound (in nanoseconds) of the bucket holding the p-quantile
+  /// observation, p in [0, 1]. 0 when nothing has been recorded.
+  [[nodiscard]] std::uint64_t percentile_ns(double p) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// The endpoints the handler distinguishes.
+enum class Endpoint : std::size_t {
+  kQuery = 0,
+  kSupport,
+  kStats,
+  kReload,
+  kOther,
+};
+inline constexpr std::size_t kNumEndpoints = 5;
+
+[[nodiscard]] const char* endpoint_name(Endpoint endpoint);
+
+/// Point-in-time copy of one endpoint's counters.
+struct EndpointSnapshot {
+  std::string name;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;  // non-2xx responses
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<EndpointSnapshot> endpoints;
+  std::uint64_t total_requests = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t reload_failures = 0;
+  double uptime_seconds = 0.0;
+  double qps = 0.0;  // total_requests / uptime
+
+  /// Single-line JSON object (the /stats payload embeds it).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class ServerMetrics {
+ public:
+  ServerMetrics() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Records one finished request: endpoint, HTTP status, wall time.
+  void record(Endpoint endpoint, int status, std::uint64_t nanos);
+
+  void record_reload(bool ok);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  struct PerEndpoint {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> errors{0};
+    LatencyHistogram latency;
+  };
+
+  std::chrono::steady_clock::time_point start_;
+  std::array<PerEndpoint, kNumEndpoints> endpoints_{};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
+};
+
+}  // namespace gpumine::serve

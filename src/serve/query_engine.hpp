@@ -1,0 +1,94 @@
+// QueryEngine: the immutable in-memory index behind the rule-query
+// server.
+//
+// A production deployment mines periodically and answers interactive
+// root-cause queries from a pre-built structure (the shape of Facebook's
+// fast-dimensional-analysis service): here, one QueryEngine is built
+// from a core::RuleSnapshot and then never mutated. Construction runs
+// the per-keyword half of core::analyze_keyword once for every item in
+// the catalog — keyword filtering, Conditions 1-4 pruning, and the JSON
+// rendering of analysis/export.hpp — so the serving path is a hash
+// lookup returning a pre-rendered response. Because the engine is
+// immutable, any number of server threads can read it concurrently with
+// no locking, and hot-reload is a shared_ptr swap in EngineHandle
+// (serve/engine_handle.hpp), never an in-place update.
+//
+// The answers are byte-identical to running the one-shot CLI pipeline
+// (`gpumine mine --keyword K --format json`) over the same mining
+// result: the engine shares the generated rule list across keywords,
+// and pruning each keyword's slice is exactly what analyze_keyword
+// does (asserted by tests/serve/query_engine_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/miner.hpp"
+#include "core/snapshot.hpp"
+#include "core/support_index.hpp"
+
+namespace gpumine::serve {
+
+class QueryEngine {
+ public:
+  /// Builds the keyword index: one pruned KeywordAnalysis plus its
+  /// pre-rendered JSON response per catalog item. Linear in
+  /// |catalog| x |keyword rules|; runs once per snapshot (re)load.
+  explicit QueryEngine(core::RuleSnapshot snapshot);
+
+  /// Pre-pruned analysis for a keyword item name, or nullptr when the
+  /// name is not in the snapshot's vocabulary.
+  [[nodiscard]] const core::KeywordAnalysis* query(
+      std::string_view keyword) const;
+
+  /// The pre-rendered JSON response for the same lookup (the exact
+  /// bytes of analysis::rules_to_json), or nullptr when unknown.
+  [[nodiscard]] const std::string* query_json(std::string_view keyword) const;
+
+  /// Support probe: sigma(items) for a set of item names, through the
+  /// snapshot's SupportIndex. nullopt when any name is unknown or the
+  /// set is not among the frequent itemsets.
+  [[nodiscard]] std::optional<std::uint64_t> support_count(
+      const std::vector<std::string>& item_names) const;
+
+  [[nodiscard]] const core::ItemCatalog& catalog() const {
+    return snapshot_.catalog;
+  }
+  [[nodiscard]] const core::SupportIndex& support_index() const {
+    return index_;
+  }
+  [[nodiscard]] std::uint64_t db_size() const {
+    return snapshot_.result.db_size;
+  }
+  [[nodiscard]] std::size_t num_itemsets() const {
+    return snapshot_.result.itemsets.size();
+  }
+  [[nodiscard]] std::size_t num_rules() const {
+    return snapshot_.rules.size();
+  }
+  /// Catalog items with at least one surviving rule.
+  [[nodiscard]] std::size_t num_keywords_with_rules() const {
+    return keywords_with_rules_;
+  }
+  /// Every keyword name, in catalog (id) order — the bench and the
+  /// /stats endpoint iterate this.
+  [[nodiscard]] std::vector<std::string> keyword_names() const;
+
+ private:
+  struct Entry {
+    core::KeywordAnalysis analysis;
+    std::string json;  // rules_to_json(analysis, catalog)
+  };
+
+  core::RuleSnapshot snapshot_;
+  core::SupportIndex index_;
+  std::unordered_map<std::string, Entry> by_keyword_;
+  std::size_t keywords_with_rules_ = 0;
+};
+
+}  // namespace gpumine::serve

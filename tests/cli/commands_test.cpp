@@ -3,7 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <memory>
 #include <sstream>
+
+#include "core/snapshot.hpp"
+#include "serve/handler.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/server.hpp"
 
 namespace gpumine::cli {
 namespace {
@@ -327,6 +333,111 @@ TEST(Cli, ItemsetsEngineSelection) {
                "0"})
           .code,
       2);
+}
+
+TEST(Cli, SnapshotValidation) {
+  // --out is mandatory.
+  const auto no_out = run_cli({"snapshot"});
+  EXPECT_EQ(no_out.code, 2);
+  EXPECT_NE(no_out.err.find("--out"), std::string::npos);
+  // A missing archive is a clean usage error, not a crash.
+  EXPECT_EQ(run_cli({"snapshot", "--from-itemsets", "/no/such.itemsets",
+                     "--out", temp_path("x.snap")})
+                .code,
+            2);
+}
+
+TEST(Cli, SnapshotThenServeCheck) {
+  const std::string csv = temp_path("cli_serve.csv");
+  const std::string snap = temp_path("cli_serve.snap");
+  ASSERT_EQ(run_cli({"synth", "--trace", "pai", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto snapshot = run_cli({"snapshot", "--csv", csv, "--out", snap});
+  ASSERT_EQ(snapshot.code, 0) << snapshot.err;
+  EXPECT_NE(snapshot.out.find("wrote snapshot:"), std::string::npos);
+
+  // --check loads the snapshot, binds an ephemeral port, and exits 0.
+  const auto check = run_cli(
+      {"serve", "--snapshot", snap, "--port", "0", "--check"});
+  ASSERT_EQ(check.code, 0) << check.err;
+  EXPECT_NE(check.out.find("loaded "), std::string::npos);
+  EXPECT_NE(check.out.find("serving on 127.0.0.1:"), std::string::npos);
+}
+
+TEST(Cli, ServeValidation) {
+  const auto no_snapshot = run_cli({"serve"});
+  EXPECT_EQ(no_snapshot.code, 2);
+  EXPECT_NE(no_snapshot.err.find("--snapshot"), std::string::npos);
+  EXPECT_EQ(run_cli({"serve", "--snapshot", "x.snap", "--port", "70000"})
+                .code,
+            2);
+  // A path that doesn't load is a runtime failure, not a usage error.
+  EXPECT_EQ(run_cli({"serve", "--snapshot", "/no/such.snap", "--check"}).code,
+            1);
+}
+
+TEST(Cli, QueryValidation) {
+  // Exactly one action must be picked.
+  EXPECT_EQ(run_cli({"query"}).code, 2);
+  EXPECT_EQ(
+      run_cli({"query", "--keyword", "Failed", "--stats"}).code, 2);
+  const auto both = run_cli({"query", "--health", "--reload"});
+  EXPECT_EQ(both.code, 2);
+  EXPECT_NE(both.err.find("exactly one"), std::string::npos);
+}
+
+TEST(Cli, QueryAgainstLiveServer) {
+  // Build a snapshot through the CLI, serve it in-process, and drive the
+  // `query` client over a real socket.
+  const std::string csv = temp_path("cli_query.csv");
+  const std::string snap = temp_path("cli_query.snap");
+  ASSERT_EQ(run_cli({"synth", "--trace", "pai", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"snapshot", "--csv", csv, "--out", snap}).code, 0);
+
+  auto loaded = core::load_rule_snapshot_file(snap);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  auto engine = std::make_shared<const serve::QueryEngine>(
+      std::move(loaded).value());
+  serve::RequestHandler handler(engine, snap);
+  serve::Server server(handler, {});
+  ASSERT_TRUE(server.start().ok());
+  const std::string port = std::to_string(server.port());
+
+  const auto health = run_cli({"query", "--port", port, "--health"});
+  EXPECT_EQ(health.code, 0) << health.err;
+  EXPECT_EQ(health.out, "ok\n");
+
+  // The client percent-encodes keywords with spaces, '=' and '%'.
+  const auto keyword = run_cli(
+      {"query", "--port", port, "--keyword", "SM Util = 0%"});
+  EXPECT_EQ(keyword.code, 0) << keyword.err;
+  EXPECT_EQ(keyword.out, *engine->query_json("SM Util = 0%") + "\n");
+
+  const auto missing = run_cli(
+      {"query", "--port", port, "--keyword", "No Such Item"});
+  EXPECT_EQ(missing.code, 1);
+
+  const auto support = run_cli(
+      {"query", "--port", port, "--items", "SM Util = 0%,GMem = 0%"});
+  EXPECT_EQ(support.code, 0) << support.err;
+  EXPECT_NE(support.out.find("\"frequent\":"), std::string::npos);
+
+  const auto stats = run_cli({"query", "--port", port, "--stats"});
+  EXPECT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("\"total_requests\":"), std::string::npos);
+
+  const auto reload = run_cli({"query", "--port", port, "--reload"});
+  EXPECT_EQ(reload.code, 0) << reload.err;
+  EXPECT_NE(reload.out.find("\"reloaded\":true"), std::string::npos);
+
+  server.stop();
+  // With the server gone, the client reports a connection error.
+  EXPECT_EQ(run_cli({"query", "--port", port, "--health"}).code, 1);
 }
 
 }  // namespace

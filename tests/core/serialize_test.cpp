@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/fpgrowth.hpp"
@@ -105,6 +106,27 @@ TEST(Deserialize, RejectsMalformedInput) {
 
 TEST(Deserialize, MissingFile) {
   EXPECT_FALSE(load_mining_result_file("/no/such/file").ok());
+}
+
+TEST(Serialize, SaveToUnopenablePathFails) {
+  auto [result, catalog] = mined_fixture();
+  // A directory is not a writable file: open must fail up front.
+  const auto saved =
+      save_mining_result_file(result, catalog, ::testing::TempDir());
+  ASSERT_FALSE(saved.ok());
+  EXPECT_NE(saved.error().message.find("open"), std::string::npos);
+}
+
+TEST(Serialize, SaveSurfacesDeferredWriteFailure) {
+  // /dev/full opens fine but every flush fails with ENOSPC — the
+  // disk-full case where the error only shows up at close().
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  auto [result, catalog] = mined_fixture();
+  const auto saved = save_mining_result_file(result, catalog, "/dev/full");
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.error().context, "/dev/full");
+  EXPECT_NE(saved.error().message.find("write failed"), std::string::npos);
 }
 
 }  // namespace

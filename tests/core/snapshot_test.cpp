@@ -1,0 +1,417 @@
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/fpgrowth.hpp"
+#include "core/miner.hpp"
+#include "core/serialize.hpp"
+#include "mining_test_util.hpp"
+
+namespace gpumine::core {
+namespace {
+
+std::pair<MiningResult, ItemCatalog> mined_fixture(std::uint64_t seed = 4) {
+  ItemCatalog catalog;
+  catalog.intern("Failed");
+  catalog.intern("Multi-GPU");
+  catalog.intern("SM Util = 0%");
+  catalog.intern("GMem = 0%");
+  const auto db = testutil::random_db(seed, /*num_txns=*/120,
+                                      /*num_items=*/4);
+  MiningParams params;
+  params.min_support = 0.1;
+  return {mine_fpgrowth(db, params), std::move(catalog)};
+}
+
+RuleSnapshot snapshot_fixture(std::uint64_t seed = 4) {
+  auto [result, catalog] = mined_fixture(seed);
+  RuleParams rules;
+  rules.min_lift = 0.0;  // keep everything; more rules to round-trip
+  return build_rule_snapshot(std::move(result), std::move(catalog), rules,
+                             PruneParams{});
+}
+
+std::string snapshot_bytes(const RuleSnapshot& snapshot) {
+  std::ostringstream out;
+  save_rule_snapshot(snapshot, out);
+  return out.str();
+}
+
+Result<RuleSnapshot> load_bytes(const std::string& bytes) {
+  std::istringstream in(bytes);
+  return load_rule_snapshot(in);
+}
+
+// ---------------------------------------------------------------------
+// Little-endian builders mirroring the on-disk format, for crafting
+// corrupt payloads that still carry a valid checksum.
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Wraps a payload in a well-formed header (magic, version, size,
+/// checksum) so corruption tests reach the section parsers.
+std::string frame(const std::string& payload,
+                  std::uint32_t version = kRuleSnapshotVersion) {
+  std::string out = "GPMSNAP2";
+  put_u32(out, version);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a64(payload));
+  return out + payload;
+}
+
+/// Payload prefix: db_size 10, zeroed params, one item "a".
+std::string payload_prefix() {
+  std::string p;
+  put_u64(p, 10);                          // db_size
+  for (int i = 0; i < 4; ++i) put_u64(p, 0);  // params (0.0 bits)
+  put_u32(p, 1);                           // item count
+  put_u32(p, 1);                           // name length
+  p += 'a';
+  return p;
+}
+
+TEST(RuleSnapshot, RoundTripIsBitIdentical) {
+  const RuleSnapshot snapshot = snapshot_fixture();
+  ASSERT_FALSE(snapshot.rules.empty());
+  auto loaded = load_bytes(snapshot_bytes(snapshot));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  const RuleSnapshot& back = loaded.value();
+
+  EXPECT_EQ(back.result.db_size, snapshot.result.db_size);
+  ASSERT_EQ(back.result.itemsets.size(), snapshot.result.itemsets.size());
+  for (std::size_t i = 0; i < snapshot.result.itemsets.size(); ++i) {
+    EXPECT_EQ(back.result.itemsets[i].items,
+              snapshot.result.itemsets[i].items);
+    EXPECT_EQ(back.result.itemsets[i].count,
+              snapshot.result.itemsets[i].count);
+  }
+  ASSERT_EQ(back.catalog.size(), snapshot.catalog.size());
+  for (ItemId id = 0; id < snapshot.catalog.size(); ++id) {
+    EXPECT_EQ(back.catalog.name(id), snapshot.catalog.name(id));
+  }
+  // Metrics are recomputed through make_rule on load; EXPECT_EQ on the
+  // doubles asserts bit identity, not closeness.
+  ASSERT_EQ(back.rules.size(), snapshot.rules.size());
+  for (std::size_t i = 0; i < snapshot.rules.size(); ++i) {
+    EXPECT_EQ(back.rules[i].antecedent, snapshot.rules[i].antecedent);
+    EXPECT_EQ(back.rules[i].consequent, snapshot.rules[i].consequent);
+    EXPECT_EQ(back.rules[i].count, snapshot.rules[i].count);
+    EXPECT_EQ(back.rules[i].support, snapshot.rules[i].support);
+    EXPECT_EQ(back.rules[i].confidence, snapshot.rules[i].confidence);
+    EXPECT_EQ(back.rules[i].lift, snapshot.rules[i].lift);
+    EXPECT_EQ(back.rules[i].leverage, snapshot.rules[i].leverage);
+    EXPECT_EQ(back.rules[i].conviction, snapshot.rules[i].conviction);
+  }
+  EXPECT_EQ(back.rule_params.min_confidence,
+            snapshot.rule_params.min_confidence);
+  EXPECT_EQ(back.rule_params.min_lift, snapshot.rule_params.min_lift);
+  EXPECT_EQ(back.prune_params.c_lift, snapshot.prune_params.c_lift);
+  EXPECT_EQ(back.prune_params.c_supp, snapshot.prune_params.c_supp);
+}
+
+TEST(RuleSnapshot, FileRoundTrip) {
+  const RuleSnapshot snapshot = snapshot_fixture();
+  const std::string path = ::testing::TempDir() + "/gpumine_rules.snap";
+  const auto saved = save_rule_snapshot_file(snapshot, path);
+  ASSERT_TRUE(saved.ok()) << saved.error().to_string();
+  auto loaded = load_rule_snapshot_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded.value().rules.size(), snapshot.rules.size());
+}
+
+TEST(RuleSnapshot, MissingFile) {
+  EXPECT_FALSE(load_rule_snapshot_file("/no/such/file.snap").ok());
+}
+
+TEST(RuleSnapshot, SaveToUnwritablePathFails) {
+  // A directory path: the stream never opens (or every write fails).
+  const auto saved =
+      save_rule_snapshot_file(snapshot_fixture(), ::testing::TempDir());
+  EXPECT_FALSE(saved.ok());
+}
+
+TEST(RuleSnapshot, EveryTruncatedPrefixIsRejected) {
+  const std::string bytes = snapshot_bytes(snapshot_fixture());
+  ASSERT_GT(bytes.size(), 28u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto loaded = load_bytes(bytes.substr(0, len));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << len << " bytes parsed";
+  }
+  EXPECT_TRUE(load_bytes(bytes).ok());
+}
+
+TEST(RuleSnapshot, EveryFlippedPayloadByteIsRejected) {
+  // Any payload corruption must die at the checksum, never reach the
+  // section parsers. (Header bytes are covered by the magic/version/
+  // size checks and the truncation sweep.)
+  const std::string bytes = snapshot_bytes(snapshot_fixture());
+  constexpr std::size_t kHeaderBytes = 28;
+  for (std::size_t pos = kHeaderBytes; pos < bytes.size();
+       pos += 97) {  // stride keeps the sweep fast; offsets still vary
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    auto loaded = load_bytes(mutated);
+    ASSERT_FALSE(loaded.ok()) << "flip at byte " << pos << " parsed";
+    EXPECT_NE(loaded.error().message.find("checksum"), std::string::npos)
+        << loaded.error().to_string();
+  }
+}
+
+TEST(RuleSnapshot, BadMagicAndVersionAreRejected) {
+  const std::string bytes = snapshot_bytes(snapshot_fixture());
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(load_bytes(wrong_magic).ok());
+
+  std::string v1_text = "gpumine-itemsets v1\ndb_size 5\n";
+  EXPECT_FALSE(load_bytes(v1_text).ok());
+
+  // Version 3 with an otherwise valid frame.
+  std::string payload = bytes.substr(28);
+  EXPECT_FALSE(load_bytes(frame(payload, 3)).ok());
+}
+
+TEST(RuleSnapshot, ItemIdOutOfRangeIsRejected) {
+  std::string p = payload_prefix();
+  put_u64(p, 1);  // itemset count
+  put_u64(p, 5);  // support count
+  put_u32(p, 1);  // k
+  put_u32(p, 7);  // id 7, but only 1 item exists
+  auto loaded = load_bytes(frame(p));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("out of range"), std::string::npos);
+}
+
+TEST(RuleSnapshot, SupportCountAboveDbSizeIsRejected) {
+  std::string p = payload_prefix();
+  put_u64(p, 1);   // itemset count
+  put_u64(p, 11);  // support count 11 > db_size 10
+  put_u32(p, 1);
+  put_u32(p, 0);
+  auto loaded = load_bytes(frame(p));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("db_size"), std::string::npos);
+}
+
+TEST(RuleSnapshot, HugeCountsAreRejectedBeforeAllocation) {
+  // An itemset count far beyond what the payload could hold must fail
+  // the plausibility check, not attempt a massive reserve.
+  std::string p = payload_prefix();
+  put_u64(p, 0xffffffffffffffffull);
+  auto loaded = load_bytes(frame(p));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("exceeds payload"),
+            std::string::npos);
+
+  // Same for a single itemset claiming more ids than the payload holds.
+  std::string q = payload_prefix();
+  put_u64(q, 1);
+  put_u64(q, 5);
+  put_u32(q, 0xffffffffu);  // k
+  EXPECT_FALSE(load_bytes(frame(q)).ok());
+}
+
+TEST(RuleSnapshot, MalformedRulesAreRejected) {
+  const auto with_rules = [](void (*emit)(std::string&)) {
+    // db_size 10, items {a, b}, itemsets {a}:5 {b}:4 {a,b}:3, then the
+    // caller's rule table.
+    std::string p;
+    put_u64(p, 10);
+    for (int i = 0; i < 4; ++i) put_u64(p, 0);
+    put_u32(p, 2);
+    put_u32(p, 1);
+    p += 'a';
+    put_u32(p, 1);
+    p += 'b';
+    put_u64(p, 3);
+    put_u64(p, 5);
+    put_u32(p, 1);
+    put_u32(p, 0);
+    put_u64(p, 4);
+    put_u32(p, 1);
+    put_u32(p, 1);
+    put_u64(p, 3);
+    put_u32(p, 2);
+    put_u32(p, 0);
+    put_u32(p, 1);
+    emit(p);
+    return frame(p);
+  };
+
+  // Valid rule {a} => {b}: accepted (metrics recomputed).
+  auto ok = load_bytes(with_rules([](std::string& p) {
+    put_u64(p, 1);  // rule count
+    put_u64(p, 3);  // joint count
+    put_u32(p, 1);
+    put_u32(p, 0);  // X = {a}
+    put_u32(p, 1);
+    put_u32(p, 1);  // Y = {b}
+  }));
+  ASSERT_TRUE(ok.ok()) << ok.error().to_string();
+  ASSERT_EQ(ok.value().rules.size(), 1u);
+  EXPECT_DOUBLE_EQ(ok.value().rules[0].confidence, 3.0 / 5.0);
+
+  // Joint count above db_size.
+  EXPECT_FALSE(load_bytes(with_rules([](std::string& p) {
+                 put_u64(p, 1);
+                 put_u64(p, 11);
+                 put_u32(p, 1);
+                 put_u32(p, 0);
+                 put_u32(p, 1);
+                 put_u32(p, 1);
+               })).ok());
+
+  // Empty antecedent.
+  EXPECT_FALSE(load_bytes(with_rules([](std::string& p) {
+                 put_u64(p, 1);
+                 put_u64(p, 3);
+                 put_u32(p, 0);
+                 put_u32(p, 1);
+                 put_u32(p, 1);
+               })).ok());
+
+  // Overlapping sides: {a} => {a}.
+  EXPECT_FALSE(load_bytes(with_rules([](std::string& p) {
+                 put_u64(p, 1);
+                 put_u64(p, 3);
+                 put_u32(p, 1);
+                 put_u32(p, 0);
+                 put_u32(p, 1);
+                 put_u32(p, 0);
+               })).ok());
+
+  // Non-canonical side: ids out of order.
+  EXPECT_FALSE(load_bytes(with_rules([](std::string& p) {
+                 put_u64(p, 1);
+                 put_u64(p, 3);
+                 put_u32(p, 2);
+                 put_u32(p, 1);
+                 put_u32(p, 0);
+                 put_u32(p, 1);
+                 put_u32(p, 1);
+               })).ok());
+
+  // Trailing bytes after the rule table.
+  EXPECT_FALSE(load_bytes(with_rules([](std::string& p) {
+                 put_u64(p, 0);
+                 p += "junk";
+               })).ok());
+}
+
+TEST(RuleSnapshot, RuleSideNotFrequentIsRejected) {
+  // Itemset family holds only {a}; a rule touching b has an unpriceable
+  // side even though b is in the catalog.
+  std::string p;
+  put_u64(p, 10);
+  for (int i = 0; i < 4; ++i) put_u64(p, 0);
+  put_u32(p, 2);
+  put_u32(p, 1);
+  p += 'a';
+  put_u32(p, 1);
+  p += 'b';
+  put_u64(p, 1);
+  put_u64(p, 5);
+  put_u32(p, 1);
+  put_u32(p, 0);
+  put_u64(p, 1);  // rule count
+  put_u64(p, 3);
+  put_u32(p, 1);
+  put_u32(p, 0);
+  put_u32(p, 1);
+  put_u32(p, 1);
+  auto loaded = load_bytes(frame(p));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("frequent"), std::string::npos);
+}
+
+TEST(RuleSnapshot, DuplicateAndEmptyItemNamesAreRejected) {
+  std::string dup;
+  put_u64(dup, 10);
+  for (int i = 0; i < 4; ++i) put_u64(dup, 0);
+  put_u32(dup, 2);
+  put_u32(dup, 1);
+  dup += 'a';
+  put_u32(dup, 1);
+  dup += 'a';
+  EXPECT_FALSE(load_bytes(frame(dup)).ok());
+
+  std::string empty;
+  put_u64(empty, 10);
+  for (int i = 0; i < 4; ++i) put_u64(empty, 0);
+  put_u32(empty, 1);
+  put_u32(empty, 0);
+  EXPECT_FALSE(load_bytes(frame(empty)).ok());
+}
+
+// The property the serve subsystem rests on: a v1 itemset archive and a
+// v2 rule snapshot of the same mining result produce identical
+// KeywordAnalysis output — same rules, same doubles, same order.
+TEST(RuleSnapshot, V1AndV2ProduceIdenticalKeywordAnalysis) {
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull}) {
+    auto [result, catalog] = mined_fixture(seed);
+    RuleParams rule_params;
+    rule_params.min_lift = 1.0;
+    const PruneParams prune_params;
+
+    // v1 path: text archive round trip, then the one-shot pipeline.
+    std::stringstream v1;
+    save_mining_result(result, catalog, v1);
+    auto v1_loaded = load_mining_result(v1);
+    ASSERT_TRUE(v1_loaded.ok());
+
+    // v2 path: binary snapshot round trip, then prune the stored rules.
+    auto v2_loaded = load_bytes(snapshot_bytes(build_rule_snapshot(
+        result, catalog, rule_params, prune_params)));
+    ASSERT_TRUE(v2_loaded.ok()) << v2_loaded.error().to_string();
+    const RuleSnapshot& v2 = v2_loaded.value();
+
+    for (ItemId keyword = 0; keyword < catalog.size(); ++keyword) {
+      const KeywordAnalysis expected = analyze_keyword(
+          v1_loaded.value().result, keyword, rule_params, prune_params);
+      const auto keyed = filter_keyword(v2.rules, keyword);
+      const auto pruned = prune_rules(keyed, keyword, v2.prune_params);
+
+      std::vector<Rule> expected_all = expected.cause;
+      expected_all.insert(expected_all.end(),
+                          expected.characteristic.begin(),
+                          expected.characteristic.end());
+      sort_rules(expected_all);
+      ASSERT_EQ(pruned.size(), expected_all.size())
+          << "seed " << seed << " keyword " << catalog.name(keyword);
+      for (std::size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_EQ(pruned[i].antecedent, expected_all[i].antecedent);
+        EXPECT_EQ(pruned[i].consequent, expected_all[i].consequent);
+        EXPECT_EQ(pruned[i].count, expected_all[i].count);
+        EXPECT_EQ(pruned[i].support, expected_all[i].support);
+        EXPECT_EQ(pruned[i].confidence, expected_all[i].confidence);
+        EXPECT_EQ(pruned[i].lift, expected_all[i].lift);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpumine::core

@@ -1,0 +1,147 @@
+#include "serve/handler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/snapshot.hpp"
+#include "serve_test_util.hpp"
+
+namespace gpumine::serve {
+namespace {
+
+std::shared_ptr<const QueryEngine> engine_fixture(std::uint64_t seed = 4) {
+  return std::make_shared<const QueryEngine>(testutil::snapshot_fixture(seed));
+}
+
+TEST(UrlDecode, DecodesEscapesAndPlus) {
+  EXPECT_EQ(url_decode("SM%20Util%20%3D%200%25"), "SM Util = 0%");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode("plain"), "plain");
+  EXPECT_EQ(url_decode(""), "");
+  // Malformed escapes pass through verbatim instead of throwing.
+  EXPECT_EQ(url_decode("100%"), "100%");
+  EXPECT_EQ(url_decode("%2"), "%2");
+  EXPECT_EQ(url_decode("%zz"), "%zz");
+}
+
+TEST(RequestHandler, QueryReturnsTheCachedBytes) {
+  auto engine = engine_fixture();
+  RequestHandler handler(engine, "");
+  const HttpResponse response =
+      handler.handle("GET", "/query?keyword=Failed");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_EQ(response.body, *engine->query_json("Failed"));
+}
+
+TEST(RequestHandler, QueryDecodesPercentEncodedKeywords) {
+  auto engine = engine_fixture();
+  RequestHandler handler(engine, "");
+  const HttpResponse response =
+      handler.handle("GET", "/query?keyword=SM%20Util%20%3D%200%25");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, *engine->query_json("SM Util = 0%"));
+}
+
+TEST(RequestHandler, QueryErrors) {
+  RequestHandler handler(engine_fixture(), "");
+  EXPECT_EQ(handler.handle("GET", "/query").status, 400);
+  EXPECT_EQ(handler.handle("GET", "/query?keyword=").status, 400);
+  EXPECT_EQ(handler.handle("GET", "/query?keyword=NoSuchItem").status, 404);
+  EXPECT_EQ(handler.handle("GET", "/nope").status, 404);
+}
+
+TEST(RequestHandler, SupportEndpoint) {
+  auto engine = engine_fixture();
+  RequestHandler handler(engine, "");
+  const auto count = engine->support_count({"Failed"});
+  ASSERT_TRUE(count.has_value());
+  const HttpResponse hit = handler.handle("GET", "/support?items=Failed");
+  EXPECT_EQ(hit.status, 200);
+  EXPECT_NE(hit.body.find("\"frequent\":true"), std::string::npos);
+  EXPECT_NE(hit.body.find("\"count\":" + std::to_string(*count)),
+            std::string::npos);
+
+  const HttpResponse miss =
+      handler.handle("GET", "/support?items=NoSuchItem");
+  EXPECT_EQ(miss.status, 200);
+  EXPECT_NE(miss.body.find("\"frequent\":false"), std::string::npos);
+
+  EXPECT_EQ(handler.handle("GET", "/support").status, 400);
+}
+
+TEST(RequestHandler, HealthAndStats) {
+  RequestHandler handler(engine_fixture(), "");
+  const HttpResponse health = handler.handle("GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  (void)handler.handle("GET", "/query?keyword=Failed");
+  (void)handler.handle("GET", "/query?keyword=NoSuchItem");
+  const HttpResponse stats = handler.handle("GET", "/stats");
+  EXPECT_EQ(stats.status, 200);
+  // Two /query requests (one a 404) must show up in the metrics.
+  EXPECT_NE(stats.body.find("\"name\":\"query\",\"requests\":2,\"errors\":1"),
+            std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("\"snapshot\":{\"db_size\":"), std::string::npos);
+}
+
+TEST(RequestHandler, LineProtocolMapsOntoHttpEndpoints) {
+  auto engine = engine_fixture();
+  RequestHandler handler(engine, "");
+  EXPECT_EQ(handler.handle_line("HEALTH").body, "ok\n");
+  // Names after the verb are taken verbatim — spaces, '=' and '%' too —
+  // and must hit the same cached bytes as the HTTP endpoint.
+  EXPECT_EQ(handler.handle_line("QUERY SM Util = 0%\r\n").body,
+            *engine->query_json("SM Util = 0%"));
+  EXPECT_NE(handler.handle_line("SUPPORT Failed").body.find(
+                "\"frequent\":true"),
+            std::string::npos);
+  EXPECT_EQ(handler.handle_line("STATS").status, 200);
+  EXPECT_EQ(handler.handle_line("BOGUS x").status, 400);
+}
+
+TEST(RequestHandler, ReloadWithoutPathFailsClosed) {
+  auto engine = engine_fixture();
+  RequestHandler handler(engine, "");
+  const HttpResponse response = handler.handle("POST", "/reload");
+  EXPECT_EQ(response.status, 500);
+  // The engine must be unchanged after a failed reload.
+  EXPECT_EQ(handler.engine().get(), engine.get());
+  const HttpResponse stats = handler.handle("GET", "/stats");
+  EXPECT_NE(stats.body.find("\"reloads\":1,\"reload_failures\":1"),
+            std::string::npos)
+      << stats.body;
+}
+
+TEST(RequestHandler, ReloadSwapsInTheNewSnapshot) {
+  const std::string path = ::testing::TempDir() + "/gpumine_reload.snap";
+  const auto saved =
+      core::save_rule_snapshot_file(testutil::snapshot_fixture(4), path);
+  ASSERT_TRUE(saved.ok());
+
+  RequestHandler handler(engine_fixture(4), path);
+  const std::string before = handler.handle("GET", "/stats").body;
+  const auto old_engine = handler.engine();
+
+  // Overwrite the file with a differently-seeded snapshot and reload.
+  const core::RuleSnapshot next = testutil::snapshot_fixture(99, 200);
+  ASSERT_TRUE(core::save_rule_snapshot_file(next, path).ok());
+  const HttpResponse response = handler.handle("POST", "/reload");
+  EXPECT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(handler.engine().get(), old_engine.get());
+  EXPECT_EQ(handler.engine()->num_rules(), next.rules.size());
+  // Readers holding the old engine still see valid data.
+  EXPECT_NE(old_engine->query("Failed"), nullptr);
+}
+
+TEST(RequestHandler, ReloadRejectsWrongMethod) {
+  RequestHandler handler(engine_fixture(), "");
+  EXPECT_EQ(handler.handle("PUT", "/reload").status, 405);
+}
+
+}  // namespace
+}  // namespace gpumine::serve

@@ -1,0 +1,105 @@
+#include "serve/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/export.hpp"
+#include "core/miner.hpp"
+#include "serve_test_util.hpp"
+
+namespace gpumine::serve {
+namespace {
+
+// The engine's contract: query(name) returns exactly what the one-shot
+// pipeline (core::analyze_keyword) computes for that keyword — same
+// rules, same doubles, same order.
+TEST(QueryEngine, MatchesAnalyzeKeywordForEveryItem) {
+  const core::RuleSnapshot snapshot = testutil::snapshot_fixture();
+  const QueryEngine engine(snapshot);
+
+  for (core::ItemId id = 0; id < snapshot.catalog.size(); ++id) {
+    const std::string& name = snapshot.catalog.name(id);
+    const core::KeywordAnalysis* got = engine.query(name);
+    ASSERT_NE(got, nullptr) << name;
+    const core::KeywordAnalysis expected = core::analyze_keyword(
+        snapshot.result, id, snapshot.rule_params, snapshot.prune_params);
+
+    const auto expect_rules_eq = [&](const std::vector<core::Rule>& a,
+                                     const std::vector<core::Rule>& b) {
+      ASSERT_EQ(a.size(), b.size()) << name;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].antecedent, b[i].antecedent);
+        EXPECT_EQ(a[i].consequent, b[i].consequent);
+        EXPECT_EQ(a[i].count, b[i].count);
+        EXPECT_EQ(a[i].support, b[i].support);
+        EXPECT_EQ(a[i].confidence, b[i].confidence);
+        EXPECT_EQ(a[i].lift, b[i].lift);
+        EXPECT_EQ(a[i].leverage, b[i].leverage);
+        EXPECT_EQ(a[i].conviction, b[i].conviction);
+      }
+    };
+    expect_rules_eq(got->cause, expected.cause);
+    expect_rules_eq(got->characteristic, expected.characteristic);
+    EXPECT_EQ(got->prune_stats.input, expected.prune_stats.input);
+    EXPECT_EQ(got->prune_stats.kept, expected.prune_stats.kept);
+  }
+}
+
+TEST(QueryEngine, JsonIsPreRenderedExportOutput) {
+  const core::RuleSnapshot snapshot = testutil::snapshot_fixture();
+  const QueryEngine engine(snapshot);
+  for (core::ItemId id = 0; id < snapshot.catalog.size(); ++id) {
+    const std::string& name = snapshot.catalog.name(id);
+    const std::string* json = engine.query_json(name);
+    ASSERT_NE(json, nullptr);
+    EXPECT_EQ(*json,
+              analysis::rules_to_json(*engine.query(name), engine.catalog()));
+  }
+}
+
+TEST(QueryEngine, UnknownKeywordReturnsNull) {
+  const QueryEngine engine(testutil::snapshot_fixture());
+  EXPECT_EQ(engine.query("no such item"), nullptr);
+  EXPECT_EQ(engine.query_json(""), nullptr);
+}
+
+TEST(QueryEngine, SupportProbes) {
+  const core::RuleSnapshot snapshot = testutil::snapshot_fixture();
+  const QueryEngine engine(snapshot);
+
+  // Every stored frequent itemset must be found with its exact count.
+  for (const core::FrequentItemset& fi : snapshot.result.itemsets) {
+    std::vector<std::string> names;
+    for (const core::ItemId id : fi.items) {
+      names.push_back(snapshot.catalog.name(id));
+    }
+    const auto count = engine.support_count(names);
+    ASSERT_TRUE(count.has_value());
+    EXPECT_EQ(*count, fi.count);
+    // Order must not matter: the engine canonicalizes.
+    std::reverse(names.begin(), names.end());
+    EXPECT_EQ(engine.support_count(names), count);
+  }
+
+  EXPECT_FALSE(engine.support_count({"no such item"}).has_value());
+  EXPECT_FALSE(engine.support_count({}).has_value());
+}
+
+TEST(QueryEngine, ShapeAccessors) {
+  const core::RuleSnapshot snapshot = testutil::snapshot_fixture();
+  const QueryEngine engine(snapshot);
+  EXPECT_EQ(engine.db_size(), snapshot.result.db_size);
+  EXPECT_EQ(engine.num_itemsets(), snapshot.result.itemsets.size());
+  EXPECT_EQ(engine.num_rules(), snapshot.rules.size());
+  EXPECT_GT(engine.num_keywords_with_rules(), 0u);
+  EXPECT_LE(engine.num_keywords_with_rules(), snapshot.catalog.size());
+  const auto names = engine.keyword_names();
+  ASSERT_EQ(names.size(), snapshot.catalog.size());
+  for (core::ItemId id = 0; id < snapshot.catalog.size(); ++id) {
+    EXPECT_EQ(names[id], snapshot.catalog.name(id));
+  }
+}
+
+}  // namespace
+}  // namespace gpumine::serve
