@@ -5,6 +5,7 @@
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "core/partitioned.hpp"
 
 namespace gpumine::analysis {
@@ -37,7 +38,9 @@ PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
   // over the pool; column replacement (and the spec list, which keeps
   // config order) stays serial.
   const auto binning_begin = std::chrono::steady_clock::now();
-  std::vector<const ColumnBinning*> todo;
+  {
+    GPUMINE_SPAN("prep/binning");
+    std::vector<const ColumnBinning*> todo;
   for (const ColumnBinning& b : config.binnings) {
     // Skip columns that arrived pre-binned (already categorical): the
     // fit needs numeric values, and passing such a table through is
@@ -46,31 +49,33 @@ PreparedTrace prepare(prep::Table table, const WorkflowConfig& config) {
       todo.push_back(&b);
     }
   }
-  std::vector<std::pair<prep::BinSpec, prep::CategoricalColumn>> fitted(
-      todo.size());
-  const auto fit_one = [&](std::size_t i) {
-    const prep::NumericColumn& col = table.numeric(todo[i]->column);
-    prep::BinSpec spec = prep::fit_bins(col.values, todo[i]->params);
-    prep::CategoricalColumn binned = prep::apply_bins(col, spec);
-    fitted[i] = {std::move(spec), std::move(binned)};
-  };
-  if (config.prep_threads != 1 && todo.size() > 1) {
-    ThreadPool pool(config.prep_threads);
-    pool.parallel_for(todo.size(), fit_one);
-  } else {
-    for (std::size_t i = 0; i < todo.size(); ++i) fit_one(i);
-  }
-  for (std::size_t i = 0; i < todo.size(); ++i) {
-    table.replace_column(todo[i]->column, std::move(fitted[i].second));
-    out.bin_specs.emplace_back(todo[i]->column, std::move(fitted[i].first));
-  }
-  for (const ColumnGrouping& g : config.groupings) {
-    if (!table.has_column(g.column)) continue;
-    prep::group_column_by_share(table, g.column, g.params);
-  }
-  for (const ColumnMerge& m : config.merges) {
-    if (!table.has_column(m.column)) continue;
-    prep::merge_column_categories(table, m.column, m.mapping, m.fallback);
+    std::vector<std::pair<prep::BinSpec, prep::CategoricalColumn>> fitted(
+        todo.size());
+    const auto fit_one = [&](std::size_t i) {
+      GPUMINE_SPAN("prep/bin_column");
+      const prep::NumericColumn& col = table.numeric(todo[i]->column);
+      prep::BinSpec spec = prep::fit_bins(col.values, todo[i]->params);
+      prep::CategoricalColumn binned = prep::apply_bins(col, spec);
+      fitted[i] = {std::move(spec), std::move(binned)};
+    };
+    if (config.prep_threads != 1 && todo.size() > 1) {
+      ThreadPool pool(config.prep_threads);
+      pool.parallel_for(todo.size(), fit_one);
+    } else {
+      for (std::size_t i = 0; i < todo.size(); ++i) fit_one(i);
+    }
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      table.replace_column(todo[i]->column, std::move(fitted[i].second));
+      out.bin_specs.emplace_back(todo[i]->column, std::move(fitted[i].first));
+    }
+    for (const ColumnGrouping& g : config.groupings) {
+      if (!table.has_column(g.column)) continue;
+      prep::group_column_by_share(table, g.column, g.params);
+    }
+    for (const ColumnMerge& m : config.merges) {
+      if (!table.has_column(m.column)) continue;
+      prep::merge_column_categories(table, m.column, m.mapping, m.fallback);
+    }
   }
   out.prep_metrics.binning_seconds = seconds_since(binning_begin);
 
@@ -113,7 +118,10 @@ MinedTrace mine(prep::Table table, const WorkflowConfig& config) {
     // the full row-per-job view for downstream consumers (summaries,
     // classifiers, validation scans).
     const auto dedup_begin = std::chrono::steady_clock::now();
-    const core::TransactionDb deduped = out.prepared.db.dedup();
+    const core::TransactionDb deduped = [&] {
+      GPUMINE_SPAN("prep/dedup");
+      return out.prepared.db.dedup();
+    }();
     pm.dedup_seconds = seconds_since(dedup_begin);
     pm.distinct_transactions = deduped.size();
     pm.dedup_ratio = deduped.empty()

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <fstream>
 #include <memory>
 #include <ostream>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include "analysis/report.hpp"
 #include "analysis/workflow.hpp"
 #include "cli/args.hpp"
+#include "common/trace.hpp"
 #include "analysis/classifier.hpp"
 #include "analysis/export.hpp"
 #include "core/closed.hpp"
@@ -150,6 +152,71 @@ Result<LoadedTrace> load_trace(const Args& args) {
   return loaded;
 }
 
+// RAII wiring for `--trace FILE`: arms the process tracer for the span
+// of one command. finish() exports the Chrome trace-event file, runs the
+// exporter's self-check on what it just wrote, and reports the span
+// count; it returns false (after printing why) if either step fails.
+class TraceSession {
+ public:
+  TraceSession(const Args& args, std::ostream& err)
+      : path_(args.get_or("trace", "")), err_(err) {
+    if (!path_.empty()) {
+      Tracer::instance().reset();
+      Tracer::instance().enable();
+    }
+  }
+
+  [[nodiscard]] bool active() const { return !path_.empty(); }
+
+  bool finish(std::ostream& out) {
+    if (path_.empty()) return true;
+    Tracer& tracer = Tracer::instance();
+    tracer.disable();
+    const auto written = tracer.export_chrome_trace_file(path_);
+    if (!written.ok()) {
+      err_ << written.error().to_string() << "\n";
+      return false;
+    }
+    const auto checked = validate_chrome_trace_file(path_);
+    if (!checked.ok()) {
+      err_ << "trace self-check failed: " << checked.error().to_string()
+           << "\n";
+      return false;
+    }
+    out << "wrote trace: " << checked.value() << " spans to " << path_
+        << "\n";
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::ostream& err_;
+};
+
+// Splices the name-sorted span summary into a metrics JSON object, so
+// `--stats-json` files carry a `trace_spans` key (an empty array when
+// the run was not traced).
+std::string with_trace_spans(std::string metrics_json) {
+  GPUMINE_ENSURE(!metrics_json.empty() && metrics_json.back() == '}',
+                 "metrics JSON must be an object");
+  metrics_json.pop_back();
+  metrics_json +=
+      ",\"trace_spans\":" + Tracer::instance().summary_json() + "}";
+  return metrics_json;
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::ostream& err) {
+  std::ofstream file(path, std::ios::binary);
+  file << text << "\n";
+  file.flush();
+  if (!file) {
+    err << path << ": cannot write file\n";
+    return false;
+  }
+  return true;
+}
+
 // SIGINT/SIGTERM flag for `gpumine serve` (async-signal-safe type).
 volatile std::sig_atomic_t g_serve_stop = 0;
 extern "C" void handle_serve_signal(int) { g_serve_stop = 1; }
@@ -194,6 +261,7 @@ int run_help(std::ostream& out) {
          "[--group col,..] [--drop col,..]\n"
          "               [--format table|csv|json|md] [--max-rows N] "
          "[--engine direct|son] [--partitions N] [--threads N] [--stats]\n"
+         "               [--trace FILE] [--stats-json FILE]\n"
          "  gpumine predict --csv trace.csv --target ITEM [--holdout F] "
          "[--min-confidence F] [--seed N]\n"
          "  gpumine report --csv trace.csv [--principal COL] [--runtime "
@@ -208,8 +276,10 @@ int run_help(std::ostream& out) {
          "--out FILE [+ mine flags]\n"
          "  gpumine serve --snapshot FILE [--host H] [--port P] "
          "[--threads N] [--check]\n"
+         "                [--trace FILE] [--stats-json FILE]\n"
          "  gpumine query [--host H] [--port P] (--keyword ITEM | "
-         "--items A,B | --stats | --reload | --health)\n"
+         "--items A,B | --stats | --reload | --health) [--trace FILE]\n"
+         "  gpumine trace-check --file trace.json\n"
          "  gpumine help\n";
   return 0;
 }
@@ -336,6 +406,8 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
   const std::string keyword = args.get_or("keyword", "");
   const std::string format = args.get_or("format", "table");
   const bool stats = args.has("stats");
+  const std::string stats_json_path = args.get_or("stats-json", "");
+  TraceSession session(args, err);
   const auto max_rows = args.get_uint("max-rows", 10);
   if (!max_rows.ok()) {
     err << max_rows.error().to_string() << "\n";
@@ -407,6 +479,17 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
   const auto analysis = core::analyze_keyword(result, *keyword_id,
                                               config.rules, config.pruning);
   if (stats) out << analysis.stage.summary();
+  if (stats && session.active()) {
+    out << "trace spans (per name, sorted):\n"
+        << Tracer::instance().summary_table();
+  }
+  if (!stats_json_path.empty()) {
+    result.metrics.rule_stage = analysis.stage;
+    if (!write_text_file(stats_json_path,
+                         with_trace_spans(result.metrics.to_json()), err)) {
+      return 1;
+    }
+  }
   if (format == "table") {
     analysis::RuleTableOptions options;
     options.max_cause = max_rows.value();
@@ -422,7 +505,7 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
     err << "--format must be table, csv, json or md\n";
     return 2;
   }
-  return 0;
+  return session.finish(out) ? 0 : 1;
 }
 
 int run_predict(const std::vector<std::string>& args_raw, std::ostream& out,
@@ -807,6 +890,8 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
   const auto port = args.get_uint("port", 8080);
   const auto threads = args.get_uint("threads", 4);
   const bool check_only = args.has("check");
+  const std::string stats_json_path = args.get_or("stats-json", "");
+  TraceSession session(args, err);
   if (!port.ok() || !threads.ok()) {
     err << (!port.ok() ? port.error() : threads.error()).to_string() << "\n";
     return 2;
@@ -852,8 +937,21 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
   out << "serving on " << host << ':' << server.port() << " with "
       << config.num_threads << " threads\n";
   if (check_only) {
+    // Exercise the handler once so --check verifies the request path
+    // (and a --trace session has request spans to export).
+    const serve::HttpResponse health = handler.handle("GET", "/healthz");
+    if (health.status != 200) {
+      err << "health check failed with status " << health.status << "\n";
+      server.stop();
+      return 1;
+    }
     server.stop();
-    return 0;
+    if (!stats_json_path.empty() &&
+        !write_text_file(stats_json_path,
+                         handler.handle("GET", "/stats").body, err)) {
+      return 1;
+    }
+    return session.finish(out) ? 0 : 1;
   }
 
   g_serve_stop = 0;
@@ -866,8 +964,13 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   server.stop();
+  if (!stats_json_path.empty() &&
+      !write_text_file(stats_json_path, handler.handle("GET", "/stats").body,
+                       err)) {
+    return 1;
+  }
   out << "stopped\n";
-  return 0;
+  return session.finish(out) ? 0 : 1;
 }
 
 int run_query(const std::vector<std::string>& args_raw, std::ostream& out,
@@ -885,6 +988,7 @@ int run_query(const std::vector<std::string>& args_raw, std::ostream& out,
   const bool stats = args.has("stats");
   const bool reload = args.has("reload");
   const bool health = args.has("health");
+  TraceSession session(args, err);
   if (!port.ok()) {
     err << port.error().to_string() << "\n";
     return 2;
@@ -920,8 +1024,11 @@ int run_query(const std::vector<std::string>& args_raw, std::ostream& out,
     target = "/healthz";
   }
 
-  const auto response = serve::http_request(
-      host, static_cast<std::uint16_t>(port.value()), method, target);
+  const auto response = [&] {
+    GPUMINE_SPAN("client/request");
+    return serve::http_request(host, static_cast<std::uint16_t>(port.value()),
+                               method, target);
+  }();
   if (!response.ok()) {
     err << response.error().to_string() << "\n";
     return 1;
@@ -930,8 +1037,33 @@ int run_query(const std::vector<std::string>& args_raw, std::ostream& out,
   if (response.value().body.empty() || response.value().body.back() != '\n') {
     out << "\n";
   }
+  if (!session.finish(out)) return 1;
   return response.value().status >= 200 && response.value().status < 300 ? 0
                                                                          : 1;
+}
+
+int run_trace_check(const std::vector<std::string>& args_raw,
+                    std::ostream& out, std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string file = args.get_or("file", "");
+  if (file.empty()) {
+    err << "--file is required (a trace written by --trace)\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+  const auto checked = validate_chrome_trace_file(file);
+  if (!checked.ok()) {
+    err << "invalid trace: " << checked.error().to_string() << "\n";
+    return 1;
+  }
+  out << "ok: " << checked.value() << " well-formed spans in " << file
+      << "\n";
+  return 0;
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -951,6 +1083,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "snapshot") return run_snapshot(rest, out, err);
   if (command == "serve") return run_serve(rest, out, err);
   if (command == "query") return run_query(rest, out, err);
+  if (command == "trace-check") return run_trace_check(rest, out, err);
   err << "unknown command '" << command << "' (try: gpumine help)\n";
   return 2;
 }

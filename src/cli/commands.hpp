@@ -66,5 +66,9 @@ int run_serve(const std::vector<std::string>& args, std::ostream& out,
 /// One-shot client for a running `gpumine serve` instance.
 int run_query(const std::vector<std::string>& args, std::ostream& out,
               std::ostream& err);
+/// Validates a Chrome trace-event file written by `--trace` (the same
+/// self-check the exporter runs before reporting success).
+int run_trace_check(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
 
 }  // namespace gpumine::cli

@@ -39,6 +39,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/trace.hpp"
+
 namespace gpumine {
 
 /// Snapshot of the pool's scheduling counters since construction.
@@ -253,8 +255,10 @@ class ThreadPool {
   }
 
   // Takes one task: own deque bottom first (LIFO keeps the working set
-  // hot), then steal from the top of victims in randomized order.
-  [[nodiscard]] std::function<void()> try_acquire() {
+  // hot), then steal from the top of victims in randomized order. Sets
+  // `stolen` when the task came from another worker's deque.
+  [[nodiscard]] std::function<void()> try_acquire(bool& stolen) {
+    stolen = false;
     const std::size_t self = current_worker_index();
     if (self != kNotWorker) {
       WorkerQueue& q = *queues_[self];
@@ -278,6 +282,7 @@ class ThreadPool {
         q.tasks.pop_front();
         num_tasks_.fetch_sub(1, std::memory_order_acq_rel);
         tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+        stolen = true;
         return task;
       }
     }
@@ -298,8 +303,10 @@ class ThreadPool {
   // Executes one available task on the calling thread (worker or helper).
   // Returns false if no task was available anywhere.
   bool run_one_task() {
-    auto task = try_acquire();
+    bool stolen = false;
+    auto task = try_acquire(stolen);
     if (!task) return false;
+    Span span(stolen ? "pool/task_stolen" : "pool/task");
     // Only the outermost task on a worker is timed: tasks executed while
     // helping inside a nested wait() are already inside the outer span.
     static thread_local int timing_depth = 0;
@@ -330,6 +337,7 @@ class ThreadPool {
           num_tasks_.load(std::memory_order_acquire) == 0) {
         break;
       }
+      GPUMINE_SPAN("pool/idle");
       std::unique_lock lock(sleep_mutex_);
       sleep_cv_.wait(lock, [this] {
         return stopping_.load(std::memory_order_acquire) ||

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -105,6 +106,7 @@ void mine_class(EclatShared& shared, const Itemset& prefix,
         total_tids(next_class) >= shared.spawn_cutoff_tids) {
       shared.group->run([&shared, extended = std::move(extended),
                          next_class = std::move(next_class)]() mutable {
+        GPUMINE_SPAN("mine/eclat_task");
         std::vector<FrequentItemset> local;
         mine_class(shared, extended, next_class, local);
         shared.flush(local);
@@ -118,6 +120,7 @@ void mine_class(EclatShared& shared, const Itemset& prefix,
 }  // namespace
 
 MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
+  GPUMINE_SPAN("mine/eclat");
   params.validate();
   MiningResult result;
   result.db_size = db.total_weight();

@@ -12,6 +12,7 @@
 #include "common/arena.hpp"
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -386,6 +387,7 @@ void mine_conditional(MineShared& shared, FlatFpTree cond,
   if (shared.group != nullptr && cond.num_nodes() >= shared.spawn_cutoff_nodes) {
     shared.group->run(
         [&shared, cond = std::move(cond), suffix, depth]() mutable {
+          GPUMINE_SPAN("mine/fpgrowth_task");
           std::vector<FrequentItemset> local;
           mine_tree(shared, cond, suffix, depth, local);
           shared.flush(local);
@@ -419,6 +421,7 @@ void mine_tree(MineShared& shared, const FlatFpTree& tree,
 }  // namespace
 
 MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) {
+  GPUMINE_SPAN("mine/fpgrowth");
   params.validate();
   MiningResult result;
   result.db_size = db.total_weight();
@@ -451,16 +454,19 @@ MiningResult mine_fpgrowth(const TransactionDb& db, const MiningParams& params) 
     FlatFpTree tree(shared.arena_pool.acquire(), static_cast<std::uint32_t>(n),
                     static_cast<std::uint32_t>(enc.items.size() + 1),
                     &shared.tree_stats);
-    for (std::uint32_t r = 0; r < n; ++r) {
-      tree.init_rank(r, enc.item_of_rank[r], enc.count_of_rank[r]);
-    }
-    for (std::size_t t = 0; t < enc.size(); ++t) {
-      const auto ranks = enc.transaction(t);
-      if (!ranks.empty()) {
-        tree.insert(ranks, enc.weights.empty() ? 1 : enc.weights[t]);
+    {
+      GPUMINE_SPAN("mine/fpgrowth_build_tree");
+      for (std::uint32_t r = 0; r < n; ++r) {
+        tree.init_rank(r, enc.item_of_rank[r], enc.count_of_rank[r]);
       }
+      for (std::size_t t = 0; t < enc.size(); ++t) {
+        const auto ranks = enc.transaction(t);
+        if (!ranks.empty()) {
+          tree.insert(ranks, enc.weights.empty() ? 1 : enc.weights[t]);
+        }
+      }
+      tree.finish_build();
     }
-    tree.finish_build();
 
     auto mine_all_ranks = [&](std::vector<FrequentItemset>& out) {
       if (params.max_length < 2) return;

@@ -10,6 +10,7 @@
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "core/fpgrowth.hpp"
 
 namespace gpumine::core {
@@ -160,6 +161,7 @@ void PartitionedParams::validate() const {
 
 MiningResult mine_partitioned(const TransactionDb& db,
                               const PartitionedParams& params) {
+  GPUMINE_SPAN("son/mine");
   params.validate();
   MiningResult result;
   result.db_size = db.total_weight();
@@ -191,6 +193,7 @@ MiningResult mine_partitioned(const TransactionDb& db,
 
   std::vector<std::vector<FrequentItemset>> local(p);
   pool.parallel_for(p, [&](std::size_t i) {
+    GPUMINE_SPAN("son/pass1_partition");
     if (params.dedup_partitions) parts[i] = parts[i].dedup();
     MiningParams local_params = params.mining;
     local_params.num_threads = 1;  // parallelism lives at partition level
@@ -257,6 +260,7 @@ MiningResult mine_partitioned(const TransactionDb& db,
     std::vector<std::vector<std::uint64_t>> chunk_counts(
         chunks.size(), std::vector<std::uint64_t>(candidates.size(), 0));
     pool.parallel_for(chunks.size(), [&](std::size_t c) {
+      GPUMINE_SPAN("son/pass2_chunk");
       const Chunk& chunk = chunks[c];
       const TransactionDb& part = parts[chunk.part];
       std::vector<std::uint64_t>& counts = chunk_counts[c];

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/ensure.hpp"
+#include "common/trace.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -48,6 +49,7 @@ std::vector<Rule> filter_keyword(const std::vector<Rule>& rules,
 
 std::vector<Rule> prune_rules(const std::vector<Rule>& rules, ItemId keyword,
                               const PruneParams& params, PruneStats* stats) {
+  GPUMINE_SPAN("rules/prune");
   params.validate();
   const double cl = params.c_lift;
   const double cs = params.c_supp;

@@ -8,6 +8,7 @@
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -100,6 +101,7 @@ std::vector<Rule> generate_rules(const MiningResult& mined,
                                  const RuleParams& params,
                                  const SupportIndex& index,
                                  RuleStageMetrics* metrics) {
+  GPUMINE_SPAN("rules/generate");
   params.validate();
   const auto begin = std::chrono::steady_clock::now();
   std::size_t threads = params.num_threads;
@@ -137,6 +139,7 @@ std::vector<Rule> generate_rules(const MiningResult& mined,
       std::vector<ShardResult> shards(num_shards);
       ThreadPool pool(threads);
       pool.parallel_for(num_shards, [&](std::size_t s) {
+        GPUMINE_SPAN("rules/shard");
         const std::size_t lo = mined.itemsets.size() * s / num_shards;
         const std::size_t hi = mined.itemsets.size() * (s + 1) / num_shards;
         Itemset antecedent;

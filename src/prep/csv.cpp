@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpumine::prep {
 namespace {
@@ -248,6 +249,7 @@ Column build_column(const std::vector<std::string_view>& cells, bool forced) {
 
 Result<Table> read_csv_text(std::string_view text, const CsvParams& params,
                             std::string_view context) {
+  GPUMINE_SPAN("prep/csv_parse");
   const std::vector<RecordRef> records = split_records(text);
   if (records.empty()) {
     return Error{std::string(context), "empty input"};
@@ -289,6 +291,7 @@ Result<Table> read_csv_text(std::string_view text, const CsvParams& params,
   std::optional<ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
   const auto parse_one = [&](std::size_t i) {
+    GPUMINE_SPAN("prep/csv_chunk");
     const std::size_t lo = 1 + num_records * i / num_chunks;
     const std::size_t hi = 1 + num_records * (i + 1) / num_chunks;
     chunks[i] = parse_chunk(text, records, lo, hi, header.size(),
@@ -327,6 +330,7 @@ Result<Table> read_csv_text(std::string_view text, const CsvParams& params,
   // Type inference + column construction are independent per column.
   std::vector<Column> columns(header.size());
   const auto build_one = [&](std::size_t c) {
+    GPUMINE_SPAN("prep/csv_column");
     const bool forced = std::find(params.force_categorical.begin(),
                                   params.force_categorical.end(),
                                   header[c]) != params.force_categorical.end();

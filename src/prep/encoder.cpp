@@ -7,6 +7,7 @@
 
 #include "common/ensure.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace gpumine::prep {
 
@@ -16,6 +17,7 @@ void EncoderParams::validate() const {
 }
 
 EncodeResult encode(const Table& table, const EncoderParams& params) {
+  GPUMINE_SPAN("prep/encode");
   params.validate();
   const std::size_t rows = table.num_rows();
   EncodeResult result;
@@ -107,6 +109,7 @@ EncodeResult encode(const Table& table, const EncoderParams& params) {
       pool ? std::max<std::size_t>(1, std::min(rows, threads * 4)) : 1;
   std::vector<std::vector<core::Itemset>> chunk_txns(num_chunks);
   const auto encode_chunk = [&](std::size_t i) {
+    GPUMINE_SPAN("prep/encode_chunk");
     const std::size_t lo = rows * i / num_chunks;
     const std::size_t hi = rows * (i + 1) / num_chunks;
     chunk_txns[i].reserve(hi - lo);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/export.hpp"
+#include "common/trace.hpp"
 #include "core/snapshot.hpp"
 
 namespace gpumine::serve {
@@ -107,6 +108,7 @@ HttpResponse RequestHandler::handle(std::string_view method,
                                     ? target
                                     : target.substr(0, question);
   const auto begin = std::chrono::steady_clock::now();
+  GPUMINE_SPAN("serve/request");
   HttpResponse response = route(method, target);
   const auto nanos = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -130,17 +132,27 @@ HttpResponse RequestHandler::route(std::string_view method,
     return {200, "text/plain", "ok\n"};
   }
   if (path == "/query") {
-    const auto keyword = query_param(query, "keyword");
+    std::optional<std::string> keyword;
+    {
+      GPUMINE_SPAN("serve/parse");
+      keyword = query_param(query, "keyword");
+    }
     if (!keyword || keyword->empty()) {
       return error_response(400, "missing ?keyword=");
     }
-    const std::shared_ptr<const QueryEngine> engine = handle_.get();
-    const std::string* json = engine->query_json(*keyword);
+    std::shared_ptr<const QueryEngine> engine;
+    const std::string* json = nullptr;
+    {
+      GPUMINE_SPAN("serve/engine_lookup");
+      engine = handle_.get();
+      json = engine->query_json(*keyword);
+    }
     if (json == nullptr) {
       return error_response(404,
                             "keyword '" + *keyword + "' is not an item");
     }
     // One string copy; the engine's cached bytes are the response.
+    GPUMINE_SPAN("serve/render");
     return {200, "application/json", *json};
   }
   if (path == "/support") {

@@ -440,5 +440,52 @@ TEST(Cli, QueryAgainstLiveServer) {
   EXPECT_EQ(run_cli({"query", "--port", port, "--health"}).code, 1);
 }
 
+TEST(Cli, MineTraceAndStatsJsonRoundTrip) {
+  const std::string csv = temp_path("cli_traced.csv");
+  const std::string trace = temp_path("cli_traced_trace.json");
+  const std::string stats = temp_path("cli_traced_stats.json");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto mine = run_cli({"mine", "--csv", csv, "--keyword", "Failed",
+                             "--bare", "Status", "--stats", "--trace", trace,
+                             "--stats-json", stats});
+  ASSERT_EQ(mine.code, 0) << mine.err;
+  // The CLI self-checks the exported file and reports the span count.
+  EXPECT_NE(mine.out.find("wrote trace:"), std::string::npos);
+  EXPECT_NE(mine.out.find("trace spans (per name, sorted):"),
+            std::string::npos);
+
+  // trace-check accepts the file the miner just wrote.
+  const auto check = run_cli({"trace-check", "--file", trace});
+  EXPECT_EQ(check.code, 0) << check.err;
+  EXPECT_NE(check.out.find("well-formed spans"), std::string::npos);
+
+  // The stats JSON sidecar embeds the span summary next to the metrics.
+  std::ifstream in(stats);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string stats_text = buffer.str();
+  EXPECT_NE(stats_text.find("\"trace_spans\":"), std::string::npos);
+  EXPECT_NE(stats_text.find("\"prep_stage\":"), std::string::npos);
+  EXPECT_NE(stats_text.find("\"mine/fpgrowth\""), std::string::npos);
+}
+
+TEST(Cli, TraceCheckRejectsMissingAndMalformedFiles) {
+  EXPECT_EQ(run_cli({"trace-check"}).code, 2);
+  EXPECT_EQ(run_cli({"trace-check", "--file", temp_path("no_such.json")}).code,
+            1);
+  const std::string bad = temp_path("cli_bad_trace.json");
+  {
+    std::ofstream out(bad);
+    out << "{\"traceEvents\":[]}";
+  }
+  const auto result = run_cli({"trace-check", "--file", bad});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("invalid trace"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gpumine::cli

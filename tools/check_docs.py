@@ -13,9 +13,18 @@ Two classes of rot this catches:
    in the checked documents must exist on disk AND be registered in
    examples/CMakeLists.txt, so documented examples always build.
 
+3. Undocumented metrics: every object key appearing (recursively) in
+   the stats fixture — real ``--stats-json`` output captured from the
+   binary, committed at tools/fixtures/stats_fixture.json and
+   regenerated from the freshly built binary by the CI bench-smoke
+   job — must appear backticked in docs/OBSERVABILITY.md. Adding a
+   metrics key without documenting it fails CI. Override the fixture
+   path with ``--stats-fixture PATH``.
+
 Exit code 0 when clean, 1 with one line per problem otherwise.
 """
 
+import json
 import pathlib
 import re
 import sys
@@ -68,17 +77,66 @@ def check_examples(doc, problems, registered):
             )
 
 
+def json_object_keys(value, keys):
+    """Every dict key reachable from `value`, recursing through
+    containers (list elements share a schema, so all are visited)."""
+    if isinstance(value, dict):
+        for key, child in value.items():
+            keys.add(key)
+            json_object_keys(child, keys)
+    elif isinstance(value, list):
+        for child in value:
+            json_object_keys(child, keys)
+
+
+def check_stats_schema(fixture, problems):
+    handbook = REPO / "docs" / "OBSERVABILITY.md"
+    if not fixture.is_file():
+        problems.append(f"stats fixture missing: {fixture}")
+        return
+    if not handbook.is_file():
+        problems.append("docs/OBSERVABILITY.md missing (metrics handbook)")
+        return
+    try:
+        documents = json.loads(fixture.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as err:
+        problems.append(f"stats fixture is not valid JSON: {err}")
+        return
+    keys = set()
+    json_object_keys(documents, keys)
+    # The fixture's own wrapper keys label the documents, not metrics.
+    keys -= {"mine", "server"}
+    # A key is documented when it appears inline-backticked in the
+    # handbook (table cells and prose both use `key` form). Fenced
+    # code blocks are stripped first — their triple backticks would
+    # otherwise break the inline pairing.
+    text = re.sub(r"```.*?```", "", handbook.read_text(), flags=re.S)
+    documented = set(re.findall(r"`([^`\n]+)`", text))
+    for key in sorted(keys):
+        if key not in documented:
+            problems.append(
+                f"docs/OBSERVABILITY.md: stats key '{key}' (emitted by "
+                "the binary, present in the fixture) is undocumented"
+            )
+
+
 def main():
     cmake = REPO / "examples" / "CMakeLists.txt"
     registered = set(
         re.findall(r"add_executable\((\w+)", cmake.read_text())
     ) | set(re.findall(r"gpumine_add_example\((\w+)", cmake.read_text()))
 
+    fixture = REPO / "tools" / "fixtures" / "stats_fixture.json"
+    args = sys.argv[1:]
+    if "--stats-fixture" in args:
+        fixture = pathlib.Path(args[args.index("--stats-fixture") + 1])
+
     problems = []
     docs = checked_documents()
     for doc in docs:
         check_links(doc, problems)
         check_examples(doc, problems, registered)
+    check_stats_schema(fixture, problems)
 
     for problem in problems:
         print(problem)
