@@ -7,6 +7,7 @@
 // structure is driven by proportions, not absolute counts.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -66,6 +67,27 @@ inline TraceBundle make_philly() {
   std::printf("[gen] Philly: %zu jobs, seed %llu\n", cfg.num_jobs,
               static_cast<unsigned long long>(cfg.seed));
   return {"Philly", synth::generate_philly(cfg), analysis::philly_config()};
+}
+
+/// Best-of-N wall clock of `fn()`, in milliseconds — the one timing
+/// helper every perf_* harness shares. Best (not mean) is the right
+/// statistic for a perf gate: scheduler and allocator noise only ever
+/// add time, so the minimum is the closest observable to the true cost
+/// of the code under test. A bench that also asserts on the computed
+/// output captures a result variable and assigns it inside `fn` (every
+/// rep recomputes it; the last assignment wins).
+template <typename Fn>
+double best_of_ms(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto begin = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(end - begin).count());
+  }
+  return best;
 }
 
 class Stopwatch {

@@ -20,6 +20,7 @@
 #include "core/fpgrowth.hpp"
 #include "core/partitioned.hpp"
 #include "core/pruning.hpp"
+#include "bench_util.hpp"
 #include "core/streaming.hpp"
 #include "core/rules.hpp"
 #include "trace/rng.hpp"
@@ -97,17 +98,10 @@ core::TransactionDb make_skewed_db(std::size_t num_txns, std::uint64_t seed) {
 // Wall-clocks one configuration (best of three runs).
 double time_ms(const core::TransactionDb& db, const core::MiningParams& p,
                core::MiningResult* last = nullptr) {
-  double best = 1e300;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto begin = std::chrono::steady_clock::now();
+  return bench::best_of_ms([&] {
     auto result = core::mine_fpgrowth(db, p);
-    const auto end = std::chrono::steady_clock::now();
-    best = std::min(best,
-                    std::chrono::duration<double, std::milli>(end - begin)
-                        .count());
     if (last) *last = std::move(result);
-  }
-  return best;
+  });
 }
 
 // Compares the seed's scheduling (tasks only at the top level, emulated

@@ -25,6 +25,7 @@
 
 #include "analysis/trace_configs.hpp"
 #include "analysis/workflow.hpp"
+#include "bench_util.hpp"
 #include "core/fpgrowth.hpp"
 #include "core/partitioned.hpp"
 #include "core/serialize.hpp"
@@ -103,21 +104,6 @@ std::string itemset_bytes(const core::MiningResult& result) {
   return out.str();
 }
 
-// Best-of-N wall clock, in milliseconds.
-template <typename Fn>
-double best_ms(Fn&& fn, int reps = 3) {
-  double best = 1e300;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto begin = std::chrono::steady_clock::now();
-    fn();
-    const auto end = std::chrono::steady_clock::now();
-    best = std::min(
-        best,
-        std::chrono::duration<double, std::milli>(end - begin).count());
-  }
-  return best;
-}
-
 // CI bench-smoke for the scale-out path. Asserts SON == direct
 // FP-Growth byte for byte across partitions x threads, times the
 // indexed pass 2 against the serial subset scan, and writes one
@@ -136,7 +122,7 @@ int run_bench_smoke(const char* path, long pr, const char* commit,
     return 1;
   }
   const std::string expected = itemset_bytes(direct);
-  const double direct_ms = best_ms(
+  const double direct_ms = bench::best_of_ms(
       [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining)); });
 
   // Equivalence sweep: every partition/thread combination must archive
@@ -177,7 +163,7 @@ int run_bench_smoke(const char* path, long pr, const char* commit,
     return 1;
   }
 
-  const double serial_verify_ms = best_ms(
+  const double serial_verify_ms = bench::best_of_ms(
       [&] { benchmark::DoNotOptimize(serial_verify(db, candidates)); });
   // The engine's own pass-2 time (index build + sharded count + reduce)
   // at 8 threads, best of three full runs.
@@ -193,7 +179,7 @@ int run_bench_smoke(const char* path, long pr, const char* commit,
       stage = m;
     }
   }
-  const double son_total_ms = best_ms([&] {
+  const double son_total_ms = bench::best_of_ms([&] {
     benchmark::DoNotOptimize(core::mine_partitioned(db, son_params));
   });
 

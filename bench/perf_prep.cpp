@@ -28,6 +28,7 @@
 
 #include "analysis/trace_configs.hpp"
 #include "analysis/workflow.hpp"
+#include "bench_util.hpp"
 #include "core/fpgrowth.hpp"
 #include "core/serialize.hpp"
 #include "core/transaction_db.hpp"
@@ -302,21 +303,6 @@ std::string make_trace_csv(std::size_t num_jobs) {
   return out.str();
 }
 
-// Best-of-three wall clock, in milliseconds.
-template <typename Fn>
-double best_ms(Fn&& fn, int reps = 3) {
-  double best = 1e300;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto begin = std::chrono::steady_clock::now();
-    fn();
-    const auto end = std::chrono::steady_clock::now();
-    best = std::min(
-        best,
-        std::chrono::duration<double, std::milli>(end - begin).count());
-  }
-  return best;
-}
-
 // CI bench-smoke for the prep front-end. Times legacy vs chunked CSV
 // ingest, serial vs parallel prepare (binning + encoding), dedup, and
 // unweighted vs weighted mining, and writes one BENCH_*.json record.
@@ -330,15 +316,15 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
   prep::CsvParams parallel_csv;
   parallel_csv.num_threads = 8;
 
-  const double legacy_csv_ms = best_ms([&] {
+  const double legacy_csv_ms = bench::best_of_ms([&] {
     std::istringstream in(text);
     benchmark::DoNotOptimize(legacy_read_csv(in, serial_csv));
   });
-  const double csv_serial_ms = best_ms([&] {
+  const double csv_serial_ms = bench::best_of_ms([&] {
     std::istringstream in(text);
     benchmark::DoNotOptimize(prep::read_csv(in, serial_csv));
   });
-  const double csv_parallel_ms = best_ms([&] {
+  const double csv_parallel_ms = bench::best_of_ms([&] {
     std::istringstream in(text);
     benchmark::DoNotOptimize(prep::read_csv(in, parallel_csv));
   });
@@ -373,20 +359,20 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
   // ingest, sort-based binning materializing a label string per row,
   // then the remaining (grouping, merge, encode) stages via prepare —
   // which skips the already-categorical binned columns.
-  const double legacy_prep_ms = best_ms([&] {
+  const double legacy_prep_ms = bench::best_of_ms([&] {
     std::istringstream in(text);
     auto legacy = legacy_read_csv(in, serial_csv);
     auto binned =
         legacy_discretize(std::move(legacy).value(), serial_cfg);
     benchmark::DoNotOptimize(analysis::prepare(binned, serial_cfg));
   });
-  const double prep_serial_ms = best_ms([&] {
+  const double prep_serial_ms = bench::best_of_ms([&] {
     std::istringstream in(text);
     auto parsed_again = prep::read_csv(in, serial_csv);
     benchmark::DoNotOptimize(
         analysis::prepare(parsed_again.value(), serial_cfg));
   });
-  const double prep_parallel_ms = best_ms([&] {
+  const double prep_parallel_ms = bench::best_of_ms([&] {
     std::istringstream in(text);
     auto parsed_again = prep::read_csv(in, parallel_csv);
     benchmark::DoNotOptimize(
@@ -409,7 +395,7 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
   }
 
   const double dedup_ms =
-      best_ms([&] { benchmark::DoNotOptimize(prepared.db.dedup()); });
+      bench::best_of_ms([&] { benchmark::DoNotOptimize(prepared.db.dedup()); });
   const core::TransactionDb deduped = prepared.db.dedup();
   if (deduped.empty() || deduped.size() >= prepared.db.size()) {
     std::fprintf(stderr,
@@ -422,9 +408,9 @@ int run_bench_smoke(const char* path, long pr, const char* commit) {
 
   core::MiningParams mp = serial_cfg.mining;
   mp.num_threads = 1;
-  const double unweighted_mine_ms = best_ms(
+  const double unweighted_mine_ms = bench::best_of_ms(
       [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(prepared.db, mp)); });
-  const double weighted_mine_ms = best_ms(
+  const double weighted_mine_ms = bench::best_of_ms(
       [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(deduped, mp)); });
   std::ostringstream expanded_bytes;
   std::ostringstream weighted_bytes;

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <thread>
 
+#include "bench_util.hpp"
 #include "core/fpgrowth.hpp"
 #include "core/pruning.hpp"
 #include "core/rules.hpp"
@@ -88,17 +89,10 @@ double generation_ms(const core::MiningResult& mined,
                      const core::SupportIndex& index,
                      const core::RuleParams& rp,
                      std::vector<core::Rule>* last = nullptr) {
-  double best = 1e300;
-  for (int rep = 0; rep < 3; ++rep) {
-    const auto begin = std::chrono::steady_clock::now();
+  return bench::best_of_ms([&] {
     auto rules = core::generate_rules(mined, rp, index);
-    const auto end = std::chrono::steady_clock::now();
-    best = std::min(
-        best,
-        std::chrono::duration<double, std::milli>(end - begin).count());
     if (last) *last = std::move(rules);
-  }
-  return best;
+  });
 }
 
 // CI bench-smoke for the rule stage. Mines once, then times serial vs

@@ -20,6 +20,7 @@
 
 #include "analysis/trace_configs.hpp"
 #include "analysis/workflow.hpp"
+#include "bench_util.hpp"
 #include "common/trace.hpp"
 #include "core/fpgrowth.hpp"
 #include "core/transaction_db.hpp"
@@ -35,23 +36,6 @@ core::TransactionDb make_trace_db(std::size_t num_jobs) {
   const auto prepared = analysis::prepare(synth::generate_pai(config).merged(),
                                           analysis::pai_config());
   return prepared.db.dedup();
-}
-
-// Best-of-N wall clock, in milliseconds. Best (not mean) is the right
-// statistic for an overhead gate: it strips scheduler noise, which only
-// ever adds time.
-template <typename Fn>
-double best_ms(Fn&& fn, int reps = 5) {
-  double best = 1e300;
-  for (int rep = 0; rep < reps; ++rep) {
-    const auto begin = std::chrono::steady_clock::now();
-    fn();
-    const auto end = std::chrono::steady_clock::now();
-    best = std::min(
-        best,
-        std::chrono::duration<double, std::milli>(end - begin).count());
-  }
-  return best;
 }
 
 // CI bench-smoke for the tracing path: times the instrumented miner with
@@ -71,14 +55,18 @@ int run_bench_smoke(const char* path, long pr, const char* commit,
   // Warm up allocators and page cache before any timed run.
   benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining));
 
-  const double disabled_ms = best_ms(
-      [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining)); });
+  // Five reps, not the default three: the overhead gate divides two
+  // nearly equal numbers, so the minimum needs more samples to settle.
+  const double disabled_ms = bench::best_of_ms(
+      [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining)); }, 5);
 
   tracer.enable();
-  const double enabled_ms = best_ms([&] {
-    tracer.reset();
-    benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining));
-  });
+  const double enabled_ms = bench::best_of_ms(
+      [&] {
+        tracer.reset();
+        benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining));
+      },
+      5);
   const std::size_t spans_per_run = tracer.collect().size();
   // The trace from the final enabled run must pass the exporter's own
   // validator — an overhead number from a broken recorder is worthless.
@@ -119,8 +107,8 @@ int run_bench_smoke(const char* path, long pr, const char* commit,
   // any state the enabled runs left behind (registered thread buffers)
   // is priced in. This is the steady-state "tracing compiled in but
   // off" configuration every production run uses.
-  const double disabled_after_ms = best_ms(
-      [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining)); });
+  const double disabled_after_ms = bench::best_of_ms(
+      [&] { benchmark::DoNotOptimize(core::mine_fpgrowth(db, mining)); }, 5);
   const double overhead =
       (disabled_after_ms - disabled_ms) / disabled_ms;
   if (disabled_after_ms - disabled_ms > budget_ms) {

@@ -1,0 +1,127 @@
+// Runtime CPU dispatch for the vertical-mining kernels.
+//
+// The dense-bitmap intersection kernels in core/tidset.cpp come in
+// three tiers: a portable scalar word loop, an unrolled word loop that
+// autovectorizes on any 128-bit SIMD baseline (SSE2 / NEON), and an
+// AVX2 intrinsics translation unit compiled with -mavx2 on that one
+// file only. The strongest tier the build *and* the running CPU both
+// support is selected once per process; `GPUMINE_KERNEL=scalar|word|
+// avx2` overrides the choice (requests above what the machine supports
+// are clamped down), and tests pin tiers via force_kernel_tier().
+//
+// Keeping -mavx2 off every other translation unit means the binary
+// never executes an AVX2 instruction unless detection (or an explicit
+// override on a capable machine) picked the AVX2 tier, so the same
+// build runs on baseline x86-64 and on ARM.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace gpumine {
+
+/// Kernel implementation tiers, weakest to strongest. A tier is only
+/// eligible when the build carries its code *and* the CPU executes it.
+enum class KernelTier : int {
+  kScalar = 0,  // portable one-word-at-a-time loop
+  kWord = 1,    // unrolled word loop (SSE2/NEON-safe autovectorization)
+  kAvx2 = 2,    // AVX2 intrinsics (x86-64 only, -mavx2 on one TU)
+};
+
+[[nodiscard]] constexpr const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kWord:
+      return "word";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+/// True when this build compiled the tier's kernels (the AVX2 TU is
+/// only built on x86-64 with a compiler that accepts -mavx2).
+[[nodiscard]] constexpr bool kernel_tier_compiled(KernelTier tier) {
+#if defined(GPUMINE_HAVE_AVX2)
+  (void)tier;
+  return true;
+#else
+  return tier != KernelTier::kAvx2;
+#endif
+}
+
+/// True when the running CPU can execute the tier.
+[[nodiscard]] inline bool kernel_tier_runtime_ok(KernelTier tier) {
+  if (tier != KernelTier::kAvx2) return true;
+#if defined(GPUMINE_HAVE_AVX2)
+  static const bool avx2 = __builtin_cpu_supports("avx2") != 0;
+  return avx2;
+#else
+  return false;
+#endif
+}
+
+[[nodiscard]] inline bool kernel_tier_supported(KernelTier tier) {
+  return kernel_tier_compiled(tier) && kernel_tier_runtime_ok(tier);
+}
+
+/// Strongest tier the build and CPU support; the startup default.
+[[nodiscard]] inline KernelTier detect_kernel_tier() {
+  return kernel_tier_supported(KernelTier::kAvx2) ? KernelTier::kAvx2
+                                                  : KernelTier::kWord;
+}
+
+namespace detail {
+
+inline std::atomic<int>& kernel_tier_override() {
+  static std::atomic<int> forced{-1};
+  return forced;
+}
+
+/// GPUMINE_KERNEL=scalar|word|avx2, parsed once; -1 = unset / invalid.
+inline int kernel_tier_from_env() {
+  static const int tier = [] {
+    const char* env = std::getenv("GPUMINE_KERNEL");
+    if (env == nullptr) return -1;
+    const std::string_view name(env);
+    if (name == "scalar") return static_cast<int>(KernelTier::kScalar);
+    if (name == "word") return static_cast<int>(KernelTier::kWord);
+    if (name == "avx2") return static_cast<int>(KernelTier::kAvx2);
+    return -1;
+  }();
+  return tier;
+}
+
+}  // namespace detail
+
+/// The tier kernels actually run at: force_kernel_tier() beats the
+/// GPUMINE_KERNEL environment override beats detection, and every
+/// request is clamped down to the strongest supported tier, so asking
+/// for avx2 on a non-AVX2 machine degrades instead of faulting.
+[[nodiscard]] inline KernelTier active_kernel_tier() {
+  int requested =
+      detail::kernel_tier_override().load(std::memory_order_relaxed);
+  if (requested < 0) requested = detail::kernel_tier_from_env();
+  if (requested < 0) return detect_kernel_tier();
+  auto tier = static_cast<KernelTier>(requested);
+  while (tier != KernelTier::kScalar && !kernel_tier_supported(tier)) {
+    tier = static_cast<KernelTier>(static_cast<int>(tier) - 1);
+  }
+  return tier;
+}
+
+/// Test hook: pins active_kernel_tier() until cleared (still clamped to
+/// what the machine supports). Not for production configuration — use
+/// GPUMINE_KERNEL for that.
+inline void force_kernel_tier(KernelTier tier) {
+  detail::kernel_tier_override().store(static_cast<int>(tier),
+                                       std::memory_order_relaxed);
+}
+
+inline void clear_forced_kernel_tier() {
+  detail::kernel_tier_override().store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace gpumine

@@ -7,35 +7,40 @@
 #include <mutex>
 #include <span>
 #include <utility>
+#include <vector>
 
+#include "common/arena.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
+#include "core/tidset.hpp"
 
 namespace gpumine::core {
 namespace {
 
-using TidList = std::vector<std::uint32_t>;
-using TidSpan = std::span<const std::uint32_t>;
-
-// One equivalence-class member. Level-1 nodes view the rank encoding's
-// flat tid buffer directly; deeper nodes own the intersection they were
-// built from, with `tids` spanning it (vector moves keep the heap buffer
-// stable, so moving a Node — or its class into a task — is safe).
-// `count` is the weighted support of the tid list — equal to
-// tids.size() on unweighted databases.
+// One equivalence-class member: the extending item and its tid-set —
+// sparse list, dense bitmap, or dEclat diffset relative to the class
+// prefix (core/tidset.hpp). Level-1 sparse nodes view the rank
+// encoding's flat tid buffer directly; every deeper set lives in the
+// owning task's arena, bracketed by mark()/rewind() per recursion
+// level, so class extension never touches malloc.
 struct Node {
   ItemId item;
-  TidSpan tids;
-  TidList owned;
-  std::uint64_t count = 0;
+  TidSetView set;
 };
 
-TidList intersect(TidSpan a, TidSpan b) {
-  TidList out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
+// A class switches from tid-sets to diffsets (dEclat) once its
+// children are at least this long — level-2 intersections still shrink
+// fast, so flipping earlier stores more than it saves.
+constexpr std::size_t kDiffsetMinItems = 3;
+
+// Diffset retention gate: extend via diffsets when the member kept at
+// least half of its parent's tids, i.e. its children stay near *it*
+// and the exclusion lists are the smaller thing to store and subtract.
+[[nodiscard]] bool retains_most(std::uint32_t member_tids,
+                                std::uint32_t prefix_tids) {
+  return static_cast<std::uint64_t>(member_tids) * 2 >=
+         static_cast<std::uint64_t>(prefix_tids);
 }
 
 // Shared state of one (possibly parallel) Eclat run; mirrors FP-Growth's
@@ -44,75 +49,141 @@ TidList intersect(TidSpan a, TidSpan b) {
 struct EclatShared {
   std::uint64_t min_count = 0;
   std::size_t max_length = 0;
-  std::size_t spawn_cutoff_tids = 0;  // total tids in a class to justify a task
-  /// Per-transaction multiplicities; empty on unweighted databases.
-  std::span<const std::uint64_t> weights;
+  std::size_t spawn_cutoff_cost = 0;  // class storage (u32 units) per task
+  const TidOps* ops = nullptr;
+  ArenaPool* arenas = nullptr;
   ThreadPool::TaskGroup* group = nullptr;  // null => mine serially
 
   std::mutex out_mutex;
   std::vector<FrequentItemset>* out = nullptr;
+  KernelCounters* counters = nullptr;  // guarded by out_mutex
 
-  void flush(std::vector<FrequentItemset>& local) {
+  void flush(std::vector<FrequentItemset>& local, const KernelCounters& kc) {
     std::lock_guard lock(out_mutex);
     out->insert(out->end(), std::make_move_iterator(local.begin()),
                 std::make_move_iterator(local.end()));
+    counters->merge(kc);
   }
 };
 
-std::size_t total_tids(const std::vector<Node>& klass) {
+// Storage a node's set occupies in 32-bit units — the spawn heuristic's
+// measure of "projected database a task would own".
+std::size_t storage_cost(const TidSetView& set) {
+  return set.rep == TidRep::kDense ? set.words.size() * 2 : set.tids.size();
+}
+
+std::size_t total_cost(std::span<const Node> klass) {
   std::size_t total = 0;
-  for (const Node& n : klass) total += n.tids.size();
+  for (const Node& n : klass) total += storage_cost(n.set);
   return total;
 }
 
-// Weighted support of a tid list: the sum of the member transactions'
-// multiplicities (== tids.size() on unweighted databases).
-std::uint64_t weight_of(const EclatShared& shared, TidSpan tids) {
-  if (shared.weights.empty()) return tids.size();
-  std::uint64_t count = 0;
-  for (std::uint32_t t : tids) count += shared.weights[t];
-  return count;
+// Copies a class's set storage into `arena`, so a spawned task owns its
+// inputs independently of the parent's (about to be rewound) level.
+std::vector<Node> copy_class(std::span<const Node> klass, Arena& arena) {
+  std::vector<Node> owned;
+  owned.reserve(klass.size());
+  for (const Node& node : klass) {
+    Node copy = node;
+    if (node.set.rep == TidRep::kDense) {
+      const std::span<std::uint64_t> words =
+          arena.allocate_array<std::uint64_t>(node.set.words.size());
+      std::copy(node.set.words.begin(), node.set.words.end(), words.begin());
+      copy.set.words = words;
+    } else {
+      const std::span<std::uint32_t> tids =
+          arena.allocate_array<std::uint32_t>(node.set.tids.size());
+      std::copy(node.set.tids.begin(), node.set.tids.end(), tids.begin());
+      copy.set.tids = tids;
+    }
+    owned.push_back(copy);
+  }
+  return owned;
 }
 
 // Depth-first extension of `prefix` by each class member, recursing into
-// the equivalence class of survivors. Classes with enough tid-list mass
-// become work-stealing tasks (the task owns its class), so a dominant
-// item's equivalence class no longer bounds wall-clock.
+// the equivalence class of survivors. In diff mode every member's set is
+// a kDiff exclusion list relative to the class prefix, and child
+// supports come from supp(PXY) = supp(PX) - w(d(PXY)) instead of an
+// intersection. Classes with enough set storage become work-stealing
+// tasks (the task copies its class into a pooled arena it owns), so a
+// dominant item's equivalence class no longer bounds wall-clock.
+// `prefix_tids` is |t(prefix)| — the retention denominator.
 void mine_class(EclatShared& shared, const Itemset& prefix,
-                const std::vector<Node>& klass,
-                std::vector<FrequentItemset>& out) {
+                std::span<const Node> klass, bool diff_mode,
+                std::uint32_t prefix_tids, Arena& arena,
+                std::vector<FrequentItemset>& out, KernelCounters& kc) {
   for (std::size_t i = 0; i < klass.size(); ++i) {
+    const Node& node = klass[i];
     Itemset extended = prefix;
-    extended.push_back(klass[i].item);
+    extended.push_back(node.item);
     canonicalize(extended);
-    out.push_back({extended, klass[i].count});
+    out.push_back({extended, node.set.count});
     if (extended.size() >= shared.max_length) continue;
+    if (i + 1 == klass.size()) continue;  // no right siblings to extend
 
-    std::vector<Node> next_class;
+    const Arena::Mark level = arena.mark();
+    const bool to_diff = !diff_mode && extended.size() + 1 >= kDiffsetMinItems &&
+                         retains_most(node.set.num_tids, prefix_tids);
+    if (to_diff) ++kc.diffset_switches;
+    const std::span<Node> next =
+        arena.allocate_array<Node>(klass.size() - i - 1);
+    std::size_t n = 0;
     for (std::size_t j = i + 1; j < klass.size(); ++j) {
-      TidList tids = intersect(klass[i].tids, klass[j].tids);
-      const std::uint64_t count = weight_of(shared, tids);
-      if (count >= shared.min_count) {
-        Node node;
-        node.item = klass[j].item;
-        node.owned = std::move(tids);
-        node.tids = node.owned;
-        node.count = count;
-        next_class.push_back(std::move(node));
+      const Node& sibling = klass[j];
+      if (diff_mode) {
+        // d(child) = d(sibling) \ d(node), both relative to the class
+        // prefix; the child loses exactly the freshly excluded weight.
+        const DiffResult d = shared.ops->difference_lists(
+            sibling.set.tids, node.set.tids, arena, kc);
+        const std::uint64_t count = node.set.count - d.weight;
+        if (count >= shared.min_count) {
+          next[n++] = {sibling.item,
+                       {TidRep::kDiff, d.tids, {},
+                        node.set.num_tids - d.num_tids, count}};
+        }
+      } else if (to_diff) {
+        // Tidset -> diffset switch: d(child) = t(node) \ t(sibling).
+        const DiffResult d =
+            shared.ops->difference(node.set, sibling.set, arena, kc);
+        const std::uint64_t count = node.set.count - d.weight;
+        if (count >= shared.min_count) {
+          next[n++] = {sibling.item,
+                       {TidRep::kDiff, d.tids, {},
+                        node.set.num_tids - d.num_tids, count}};
+        }
+      } else {
+        const TidSetView child =
+            shared.ops->intersect(node.set, sibling.set, arena, kc);
+        if (child.count >= shared.min_count) next[n++] = {sibling.item, child};
       }
     }
-    if (next_class.empty()) continue;
+    if (n == 0) {
+      arena.rewind(level);
+      continue;
+    }
+    const std::span<const Node> next_class(next.data(), n);
+    const bool child_diff = diff_mode || to_diff;
     if (shared.group != nullptr &&
-        total_tids(next_class) >= shared.spawn_cutoff_tids) {
+        total_cost(next_class) >= shared.spawn_cutoff_cost) {
+      ArenaPool::Handle handle = shared.arenas->acquire();
+      std::vector<Node> owned = copy_class(next_class, *handle);
+      arena.rewind(level);
       shared.group->run([&shared, extended = std::move(extended),
-                         next_class = std::move(next_class)]() mutable {
+                         handle = std::move(handle),
+                         owned = std::move(owned), child_diff,
+                         ntids = node.set.num_tids]() mutable {
         GPUMINE_SPAN("mine/eclat_task");
         std::vector<FrequentItemset> local;
-        mine_class(shared, extended, next_class, local);
-        shared.flush(local);
+        KernelCounters task_kc;
+        mine_class(shared, extended, owned, child_diff, ntids, *handle, local,
+                   task_kc);
+        shared.flush(local, task_kc);
       });
     } else {
-      mine_class(shared, extended, next_class, out);
+      mine_class(shared, extended, next_class, child_diff, node.set.num_tids,
+                 arena, out, kc);
+      arena.rewind(level);
     }
   }
 }
@@ -130,44 +201,57 @@ MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
   const std::uint64_t min_count = params.min_count(db.total_weight());
 
   // The shared rank encoding carries the vertical layout: one sorted
-  // tid-list per frequent item, all back to back in a flat buffer the
-  // level-1 nodes view without copying.
+  // tid-list per frequent item, all back to back in a flat buffer.
   const RankEncoding enc = rank_encode(db, min_count, /*with_tids=*/true);
 
+  const auto universe = static_cast<std::uint32_t>(db.size());
+  const TidOps ops(universe, enc.weights, active_kernel_tier());
+
+  // Level-1 nodes: sparse lists view the encoding's buffer zero-copy;
+  // dense-worthy lists become bitmaps in the root task's arena.
+  ArenaPool arenas;
+  ArenaPool::Handle root_arena = arenas.acquire();
+  KernelCounters main_kc;
   std::vector<Node> root;
   root.reserve(enc.num_ranks());
-  for (std::uint32_t r = 0; r < enc.num_ranks(); ++r) {
-    Node node;
-    node.item = enc.item_of_rank[r];
-    node.tids = enc.tidlist(r);
-    node.count = enc.count_of_rank[r];
-    root.push_back(std::move(node));
+  {
+    GPUMINE_SPAN("mine/eclat_roots");
+    for (std::uint32_t r = 0; r < enc.num_ranks(); ++r) {
+      root.push_back({enc.item_of_rank[r],
+                      ops.build(enc.tidlist(r), enc.count_of_rank[r],
+                                *root_arena, main_kc)});
+    }
   }
 
+  KernelCounters shared_kc;
   EclatShared shared;
   shared.min_count = min_count;
   shared.max_length = params.max_length;
-  shared.weights = enc.weights;
-  // The node-count cutoff tuned for FP-trees maps onto tid-list mass here;
+  shared.ops = &ops;
+  shared.arenas = &arenas;
+  // The node-count cutoff tuned for FP-trees maps onto set storage here;
   // both measure "bytes of projected database a task would own".
-  shared.spawn_cutoff_tids = params.spawn_cutoff_nodes * 16;
+  shared.spawn_cutoff_cost = params.spawn_cutoff_nodes * 16;
   shared.out = &result.itemsets;
+  shared.counters = &shared_kc;
 
   // Small inputs fall back to the serial path: below the work-size
   // cutoff, pool startup and task overhead exceed the mining itself.
   const bool go_parallel = params.num_threads != 1 && root.size() >= 2 &&
                            enc.items.size() >= params.serial_cutoff_items;
   if (!go_parallel) {
-    mine_class(shared, {}, root, result.itemsets);
+    mine_class(shared, {}, root, /*diff_mode=*/false, universe, *root_arena,
+               result.itemsets, main_kc);
     result.metrics.num_workers = 1;
   } else {
     ThreadPool pool(params.num_threads);
     ThreadPool::TaskGroup group(pool);
     shared.group = &group;
     std::vector<FrequentItemset> local;  // calling thread's buffer
-    mine_class(shared, {}, root, local);
+    mine_class(shared, {}, root, /*diff_mode=*/false, universe, *root_arena,
+               local, main_kc);
     group.wait();
-    shared.flush(local);
+    shared.flush(local, KernelCounters{});
     result.metrics.num_workers = pool.size();
     const SchedulerMetrics sched = pool.metrics();
     result.metrics.tasks_spawned = sched.tasks_spawned;
@@ -175,6 +259,16 @@ MiningResult mine_eclat(const TransactionDb& db, const MiningParams& params) {
     result.metrics.peak_queue_length = sched.peak_queue_length;
     result.metrics.worker_busy_seconds = sched.worker_busy_seconds;
   }
+  root_arena.release();
+
+  KernelMetrics& kernels = result.metrics.kernel_stage;
+  kernels.tier = kernel_tier_name(ops.tier());
+  kernels.add(main_kc);
+  kernels.add(shared_kc);
+  const ArenaPoolMetrics am = arenas.metrics();
+  result.metrics.arena_bytes_allocated = am.bytes_allocated;
+  result.metrics.arena_bytes_reused = am.bytes_reused;
+  result.metrics.peak_arena_bytes = am.peak_bytes;
   result.metrics.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_begin)

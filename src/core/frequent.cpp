@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/ensure.hpp"
+#include "core/tidset.hpp"
 
 namespace gpumine::core {
 
@@ -59,6 +60,56 @@ std::string PrepStageMetrics::to_json() const {
       << ",\"input_transactions\":" << input_transactions
       << ",\"distinct_transactions\":" << distinct_transactions
       << ",\"dedup_ratio\":" << dedup_ratio << "}";
+  return out.str();
+}
+
+void KernelMetrics::add(const KernelCounters& counters) {
+  dense_intersections += counters.dense_intersections;
+  sparse_intersections += counters.sparse_intersections;
+  mixed_intersections += counters.mixed_intersections;
+  diff_operations += counters.diff_operations;
+  diffset_switches += counters.diffset_switches;
+  dense_sets_built += counters.dense_sets_built;
+  sparse_sets_built += counters.sparse_sets_built;
+  words_scanned += counters.words_scanned;
+  elements_merged += counters.elements_merged;
+}
+
+bool KernelMetrics::populated() const {
+  return !tier.empty() &&
+         (dense_intersections > 0 || sparse_intersections > 0 ||
+          mixed_intersections > 0 || diff_operations > 0 ||
+          dense_sets_built > 0 || sparse_sets_built > 0);
+}
+
+std::string KernelMetrics::summary() const {
+  std::ostringstream out;
+  out << "kernel stage:\n"
+      << "  dispatch tier:  " << tier << "\n"
+      << "  intersections:  " << dense_intersections << " dense, "
+      << sparse_intersections << " sparse, " << mixed_intersections
+      << " mixed\n"
+      << "  diffsets:       " << diffset_switches << " class switches, "
+      << diff_operations << " differences\n"
+      << "  sets built:     " << dense_sets_built << " dense, "
+      << sparse_sets_built << " sparse\n"
+      << "  kernel traffic: " << words_scanned << " words scanned, "
+      << elements_merged << " elements merged\n";
+  return out.str();
+}
+
+std::string KernelMetrics::to_json() const {
+  std::ostringstream out;
+  out << "{\"tier\":\"" << tier << "\""
+      << ",\"dense_intersections\":" << dense_intersections
+      << ",\"sparse_intersections\":" << sparse_intersections
+      << ",\"mixed_intersections\":" << mixed_intersections
+      << ",\"diff_operations\":" << diff_operations
+      << ",\"diffset_switches\":" << diffset_switches
+      << ",\"dense_sets_built\":" << dense_sets_built
+      << ",\"sparse_sets_built\":" << sparse_sets_built
+      << ",\"words_scanned\":" << words_scanned
+      << ",\"elements_merged\":" << elements_merged << "}";
   return out.str();
 }
 
@@ -175,6 +226,7 @@ std::string MiningMetrics::summary() const {
     out << "\n";
   }
   if (prep_stage.populated()) out << prep_stage.summary();
+  if (kernel_stage.populated()) out << kernel_stage.summary();
   if (partition_stage.populated()) out << partition_stage.summary();
   if (rule_stage.populated()) out << rule_stage.summary();
   return out.str();
@@ -202,6 +254,7 @@ std::string MiningMetrics::to_json() const {
     out << depth_histogram[i];
   }
   out << "],\"prep_stage\":" << prep_stage.to_json()
+      << ",\"kernel_stage\":" << kernel_stage.to_json()
       << ",\"partition_stage\":" << partition_stage.to_json()
       << ",\"rule_stage\":" << rule_stage.to_json() << "}";
   return out.str();

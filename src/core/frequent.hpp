@@ -153,6 +153,39 @@ struct PartitionMetrics {
   [[nodiscard]] std::string to_json() const;
 };
 
+struct KernelCounters;  // core/tidset.hpp
+
+/// Observability for the vertical-mining kernel layer (core/tidset.hpp):
+/// which dispatch tier ran, how often each representation pairing was
+/// intersected, dEclat diffset activity, and raw kernel traffic. Filled
+/// by the engines that run on tid-sets (Eclat, SON pass 2) and rendered
+/// as part of `mine --stats`/`--stats-json`; see docs/KERNELS.md for
+/// the representation heuristics behind the numbers.
+struct KernelMetrics {
+  std::string tier;  // "scalar" | "word" | "avx2"; empty = no kernel ran
+  std::uint64_t dense_intersections = 0;   // bitmap AND kernel calls
+  std::uint64_t sparse_intersections = 0;  // sorted-list merge joins
+  std::uint64_t mixed_intersections = 0;   // list probed against bitmap
+  std::uint64_t diff_operations = 0;       // set differences (dEclat)
+  std::uint64_t diffset_switches = 0;      // classes flipped to diffsets
+  std::uint64_t dense_sets_built = 0;      // bitmap results materialized
+  std::uint64_t sparse_sets_built = 0;     // list results materialized
+  std::uint64_t words_scanned = 0;         // 64-bit words read by kernels
+  std::uint64_t elements_merged = 0;       // list elements read by merges
+
+  /// Accumulates one task's/chunk's kernel-layer counters.
+  void add(const KernelCounters& counters);
+
+  /// True once any kernel work has been recorded.
+  [[nodiscard]] bool populated() const;
+
+  /// Human-readable block appended to MiningMetrics::summary().
+  [[nodiscard]] std::string summary() const;
+
+  /// Single-line JSON object (embedded by MiningMetrics::to_json).
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// Observability counters for one mining run, filled by the algorithms
 /// that use the work-stealing scheduler (FP-Growth, Eclat, partitioned).
 /// Rendered by `gpumine mine --stats` and emitted as JSON by the bench
@@ -178,6 +211,9 @@ struct MiningMetrics {
   /// mined at depth d (top-level projections are depth 0). The last slot
   /// aggregates anything deeper.
   std::vector<std::uint64_t> depth_histogram;
+  /// Vertical-kernel counters; zero unless the run intersected tid-sets
+  /// (Eclat, SON pass-2 verification).
+  KernelMetrics kernel_stage;
   /// Two-pass SON counters; zero unless the run used the partitioned
   /// engine (core::mine_partitioned).
   PartitionMetrics partition_stage;

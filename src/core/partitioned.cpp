@@ -3,15 +3,17 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <tuple>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/ensure.hpp"
+#include "common/simd.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "core/fpgrowth.hpp"
+#include "core/tidset.hpp"
 
 namespace gpumine::core {
 namespace {
@@ -21,136 +23,6 @@ double seconds_since(std::chrono::steady_clock::time_point begin) {
                                        begin)
       .count();
 }
-
-// Prefix index over the candidate set: a trie keyed by dense item codes
-// (candidate items renumbered 0..n-1 in ascending ItemId order, so the
-// monotone recode preserves canonical ordering). Counting a transaction
-// is one merge-walk of its recoded items against each trie level —
-// every candidate contained in the transaction is visited exactly once,
-// instead of one linear is_subset scan per candidate.
-class CandidateIndex {
- public:
-  static constexpr std::uint32_t kNone = 0xffffffffu;
-
-  // `candidates` must be sorted lexicographically and non-empty; the
-  // candidate id used in count vectors is the position in that order.
-  CandidateIndex(const std::vector<Itemset>& candidates,
-                 std::size_t item_id_bound) {
-    code_of_item_.assign(item_id_bound, kNone);
-    for (const Itemset& c : candidates) {
-      for (ItemId item : c) code_of_item_[item] = 0;
-    }
-    std::uint32_t next = 0;
-    for (std::uint32_t& code : code_of_item_) {
-      if (code != kNone) code = next++;
-    }
-    num_codes_ = next;
-
-    recoded_.resize(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      recoded_[i].reserve(candidates[i].size());
-      for (ItemId item : candidates[i]) {
-        recoded_[i].push_back(code_of_item_[item]);
-      }
-    }
-    nodes_.reserve(2 * candidates.size());
-    std::tie(root_begin_, root_end_) = build(0, recoded_.size(), 0);
-  }
-
-  [[nodiscard]] std::size_t num_codes() const { return num_codes_; }
-
-  // Recodes `txn` (canonical item ids) into `scratch`, dropping items
-  // that appear in no candidate; the result stays strictly increasing.
-  void recode(std::span<const ItemId> txn,
-              std::vector<std::uint32_t>& scratch) const {
-    scratch.clear();
-    for (ItemId item : txn) {
-      if (item < code_of_item_.size() && code_of_item_[item] != kNone) {
-        scratch.push_back(code_of_item_[item]);
-      }
-    }
-  }
-
-  // Adds `weight` to counts[c] for every candidate c contained in the
-  // recoded transaction.
-  void count(std::span<const std::uint32_t> txn, std::uint64_t weight,
-             std::vector<std::uint64_t>& counts) const {
-    walk(root_begin_, root_end_, txn, 0, weight, counts);
-  }
-
- private:
-  struct Node {
-    std::uint32_t code = 0;            // dense item code at this edge
-    std::uint32_t children_begin = 0;  // contiguous child range
-    std::uint32_t children_end = 0;
-    std::uint32_t candidate = kNone;   // candidate ending here, if any
-  };
-
-  // Builds the child nodes for candidates [b, e) that share a common
-  // prefix of length `depth`, contiguously, then recurses per child.
-  std::pair<std::uint32_t, std::uint32_t> build(std::size_t b, std::size_t e,
-                                                std::size_t depth) {
-    const auto first = static_cast<std::uint32_t>(nodes_.size());
-    std::vector<std::pair<std::size_t, std::size_t>> groups;
-    std::size_t i = b;
-    while (i < e) {
-      const std::uint32_t code = recoded_[i][depth];
-      std::size_t j = i;
-      while (j < e && recoded_[j][depth] == code) ++j;
-      nodes_.push_back(Node{code, 0, 0, kNone});
-      groups.emplace_back(i, j);
-      i = j;
-    }
-    const auto last = static_cast<std::uint32_t>(nodes_.size());
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      auto [gb, ge] = groups[g];
-      // The lexicographically first candidate of the group may end
-      // exactly at this node (shorter prefixes sort first).
-      if (recoded_[gb].size() == depth + 1) {
-        nodes_[first + g].candidate = static_cast<std::uint32_t>(gb);
-        ++gb;
-      }
-      if (gb < ge) {
-        const auto [cb, ce] = build(gb, ge, depth + 1);
-        nodes_[first + g].children_begin = cb;
-        nodes_[first + g].children_end = ce;
-      }
-    }
-    return {first, last};
-  }
-
-  // Merge-walk: sibling codes and transaction codes are both strictly
-  // increasing, so one two-pointer pass finds every matching edge.
-  void walk(std::uint32_t cb, std::uint32_t ce,
-            std::span<const std::uint32_t> txn, std::size_t pos,
-            std::uint64_t weight, std::vector<std::uint64_t>& counts) const {
-    std::uint32_t ci = cb;
-    std::size_t ti = pos;
-    while (ci < ce && ti < txn.size()) {
-      const Node& node = nodes_[ci];
-      if (node.code < txn[ti]) {
-        ++ci;
-      } else if (node.code > txn[ti]) {
-        ++ti;
-      } else {
-        if (node.candidate != kNone) counts[node.candidate] += weight;
-        if (node.children_begin != node.children_end) {
-          walk(node.children_begin, node.children_end, txn, ti + 1, weight,
-               counts);
-        }
-        ++ci;
-        ++ti;
-      }
-    }
-  }
-
-  std::vector<std::uint32_t> code_of_item_;  // ItemId -> dense code
-  std::vector<std::vector<std::uint32_t>> recoded_;
-  std::vector<Node> nodes_;
-  std::uint32_t root_begin_ = 0;
-  std::uint32_t root_end_ = 0;
-  std::size_t num_codes_ = 0;
-};
 
 }  // namespace
 
@@ -228,58 +100,108 @@ MiningResult mine_partitioned(const TransactionDb& db,
   stage.candidates = candidates.size();
 
   if (!candidates.empty()) {
-    const CandidateIndex index(candidates, db.item_id_bound());
+    // Pass 2: exact global weighted counts, computed vertically on the
+    // kernel layer (core/tidset.hpp). The deduplicated partition rows
+    // merge into one weighted database whose rank encoding (min_count 1
+    // — downward closure guarantees every candidate item is locally
+    // frequent, hence present) yields one tid-set per item; a
+    // candidate's global count is then the fused-weight intersection of
+    // its items' sets, smallest set first. Candidates are split into
+    // contiguous chunks across the pool, each chunk writing a disjoint
+    // range of the count vector — exact integers, so the result is
+    // identical for any thread or chunk count.
+    constexpr std::uint32_t kNoRank = 0xffffffffu;
+    TransactionDb merged;
+    std::vector<std::uint32_t> rank_of(db.item_id_bound(), kNoRank);
+    RankEncoding venc;
+    {
+      GPUMINE_SPAN("son/pass2_index");
+      std::size_t rows = 0;
+      std::size_t items = 0;
+      for (const auto& part : parts) {
+        rows += part.size();
+        items += part.total_items();
+      }
+      merged.reserve(rows, items);
+      for (const auto& part : parts) {
+        for (std::size_t t = 0; t < part.size(); ++t) {
+          const auto txn = part[t];
+          merged.add(Itemset(txn.begin(), txn.end()), part.weight(t));
+        }
+      }
+      venc = rank_encode(merged, 1, /*with_tids=*/true);
+      for (std::uint32_t r = 0; r < venc.num_ranks(); ++r) {
+        rank_of[venc.item_of_rank[r]] = r;
+      }
+    }
+    const TidOps ops(static_cast<std::uint32_t>(merged.size()), venc.weights,
+                     active_kernel_tier());
+    Arena root_arena;
+    KernelCounters root_kc;
+    std::vector<TidSetView> roots(venc.num_ranks());
+    for (std::uint32_t r = 0; r < venc.num_ranks(); ++r) {
+      roots[r] =
+          ops.build(venc.tidlist(r), venc.count_of_rank[r], root_arena, root_kc);
+    }
 
-    // Pass 2: exact global weighted counts. The deduplicated partition
-    // rows are split into contiguous chunks across the pool; each chunk
-    // owns a full count vector, and chunks reduce in slice order — the
-    // sums are exact integers, so the result is identical for any
-    // thread or chunk count.
     struct Chunk {
-      std::size_t part;
       std::size_t begin;
       std::size_t end;
     };
-    std::size_t total_rows = 0;
-    for (const auto& part : parts) total_rows += part.size();
     const std::size_t target_chunks =
-        pool.size() == 1 ? 1
-                         : std::min<std::size_t>(total_rows, pool.size() * 4);
+        pool.size() == 1
+            ? 1
+            : std::min<std::size_t>(candidates.size(), pool.size() * 4);
     std::vector<Chunk> chunks;
-    for (std::size_t i = 0; i < p; ++i) {
-      const std::size_t rows = parts[i].size();
-      if (rows == 0) continue;
-      const std::size_t pieces = std::max<std::size_t>(
-          1, (rows * target_chunks + total_rows - 1) / total_rows);
-      for (std::size_t s = 0; s < pieces; ++s) {
-        chunks.push_back({i, rows * s / pieces, rows * (s + 1) / pieces});
-      }
+    chunks.reserve(target_chunks);
+    for (std::size_t s = 0; s < target_chunks; ++s) {
+      const std::size_t begin = candidates.size() * s / target_chunks;
+      const std::size_t end = candidates.size() * (s + 1) / target_chunks;
+      if (begin < end) chunks.push_back({begin, end});
     }
     stage.verify_shards = chunks.size();
 
-    std::vector<std::vector<std::uint64_t>> chunk_counts(
-        chunks.size(), std::vector<std::uint64_t>(candidates.size(), 0));
+    std::vector<std::uint64_t> counts(candidates.size(), 0);
+    std::vector<KernelCounters> chunk_kc(chunks.size());
     pool.parallel_for(chunks.size(), [&](std::size_t c) {
       GPUMINE_SPAN("son/pass2_chunk");
-      const Chunk& chunk = chunks[c];
-      const TransactionDb& part = parts[chunk.part];
-      std::vector<std::uint64_t>& counts = chunk_counts[c];
-      std::vector<std::uint32_t> scratch;
-      for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
-        index.recode(part[t], scratch);
-        if (!scratch.empty()) index.count(scratch, part.weight(t), counts);
+      Arena scratch;  // per-chunk intermediates, rewound per candidate
+      std::vector<const TidSetView*> sets;
+      for (std::size_t idx = chunks[c].begin; idx < chunks[c].end; ++idx) {
+        sets.clear();
+        bool present = true;
+        for (const ItemId item : candidates[idx]) {
+          if (item >= rank_of.size() || rank_of[item] == kNoRank) {
+            present = false;  // unreachable by SON; counts 0 defensively
+            break;
+          }
+          sets.push_back(&roots[rank_of[item]]);
+        }
+        if (!present) continue;
+        // Smallest set first keeps every intermediate minimal.
+        std::stable_sort(sets.begin(), sets.end(),
+                         [](const TidSetView* a, const TidSetView* b) {
+                           return a->num_tids < b->num_tids;
+                         });
+        const Arena::Mark mark = scratch.mark();
+        TidSetView acc = *sets[0];
+        for (std::size_t s = 1; s < sets.size() && acc.num_tids > 0; ++s) {
+          acc = ops.intersect(acc, *sets[s], scratch, chunk_kc[c]);
+        }
+        counts[idx] = acc.count;  // an empty intermediate has weight 0
+        scratch.rewind(mark);
       }
     });
 
-    std::vector<std::uint64_t> counts(candidates.size(), 0);
-    for (const auto& chunk : chunk_counts) {
-      for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += chunk[i];
-    }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (counts[i] >= min_count) {
         result.itemsets.push_back({std::move(candidates[i]), counts[i]});
       }
     }
+    KernelMetrics& kernels = result.metrics.kernel_stage;
+    kernels.tier = kernel_tier_name(ops.tier());
+    kernels.add(root_kc);
+    for (const KernelCounters& kc : chunk_kc) kernels.add(kc);
   }
   stage.verified = result.itemsets.size();
   stage.false_candidate_rate =

@@ -1,0 +1,60 @@
+// AVX2 tier of the dense tid-set kernels. This is the only translation
+// unit compiled with -mavx2 (see core/CMakeLists.txt); it is built only
+// on x86-64 when the compiler accepts the flag, and executed only after
+// common/simd.hpp's runtime detection confirmed the CPU supports AVX2 —
+// so a baseline x86-64 machine running the same binary never decodes an
+// AVX2 instruction.
+#include "core/tidset.hpp"
+
+#if defined(GPUMINE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+namespace gpumine::core::detail {
+
+DenseResult dense_and_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                           std::uint64_t* out, std::size_t n,
+                           const std::uint64_t* weights) {
+  std::uint64_t c0 = 0;
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+  std::uint64_t c3 = 0;
+  std::uint64_t weight = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(va, vb));
+    // AVX2 has no vector popcount; the scalar popcnt units read the
+    // four words straight back from the L1-hot store.
+    c0 += static_cast<unsigned>(std::popcount(out[i]));
+    c1 += static_cast<unsigned>(std::popcount(out[i + 1]));
+    c2 += static_cast<unsigned>(std::popcount(out[i + 2]));
+    c3 += static_cast<unsigned>(std::popcount(out[i + 3]));
+    if (weights != nullptr) {
+      weight += weight_of_word(out[i], weights + i * 64);
+      weight += weight_of_word(out[i + 1], weights + (i + 1) * 64);
+      weight += weight_of_word(out[i + 2], weights + (i + 2) * 64);
+      weight += weight_of_word(out[i + 3], weights + (i + 3) * 64);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t o = a[i] & b[i];
+    out[i] = o;
+    c0 += static_cast<unsigned>(std::popcount(o));
+    if (weights != nullptr) weight += weight_of_word(o, weights + i * 64);
+  }
+  const std::uint64_t ntids = c0 + c1 + c2 + c3;
+  return {weights == nullptr ? ntids : weight,
+          static_cast<std::uint32_t>(ntids)};
+}
+
+}  // namespace gpumine::core::detail
+
+#endif  // GPUMINE_HAVE_AVX2
