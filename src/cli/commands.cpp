@@ -19,10 +19,14 @@
 #include "analysis/report.hpp"
 #include "analysis/workflow.hpp"
 #include "cli/args.hpp"
+#include "common/flight.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 #include "analysis/classifier.hpp"
 #include "analysis/export.hpp"
 #include "core/closed.hpp"
+#include "core/metrics_export.hpp"
 #include "core/serialize.hpp"
 #include "core/snapshot.hpp"
 #include "prep/csv.hpp"
@@ -193,6 +197,60 @@ class TraceSession {
   std::ostream& err_;
 };
 
+// Shared wiring for `--log-level LEVEL` and `--log-file FILE` on the
+// long-running commands. Returns false (after printing why) on a bad
+// level name or an unwritable file.
+bool configure_logging(const Args& args, std::ostream& err) {
+  if (const auto level = args.get("log-level"); level.has_value()) {
+    const auto parsed = parse_log_level(*level);
+    if (!parsed.ok()) {
+      err << parsed.error().to_string() << "\n";
+      return false;
+    }
+    Logger::instance().set_level(parsed.value());
+  }
+  if (const auto path = args.get("log-file");
+      path.has_value() && !path->empty()) {
+    const auto opened = Logger::instance().open_file(*path);
+    if (!opened.ok()) {
+      err << opened.error().to_string() << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+// RAII wiring for `--flight-dump FILE`: arms the flight recorder's
+// crash handler for the span of one command. On a clean exit the
+// destructor writes an ordinary dump to the same path (so the file is
+// always a loadable trace bundle, crash or not) and disarms, keeping
+// in-process callers (tests) free of leftover signal handlers.
+class FlightDumpSession {
+ public:
+  FlightDumpSession() = default;
+  ~FlightDumpSession() {
+    if (path_.empty()) return;
+    FlightRecorder& recorder = FlightRecorder::instance();
+    (void)recorder.dump_file(path_);
+    recorder.disarm_crash_dump();
+  }
+
+  bool arm(const Args& args, std::ostream& err) {
+    const std::string path = args.get_or("flight-dump", "");
+    if (path.empty()) return true;
+    const auto armed = FlightRecorder::instance().arm_crash_dump(path);
+    if (!armed.ok()) {
+      err << armed.error().to_string() << "\n";
+      return false;
+    }
+    path_ = path;
+    return true;
+  }
+
+ private:
+  std::string path_;
+};
+
 // Splices the name-sorted span summary into a metrics JSON object, so
 // `--stats-json` files carry a `trace_spans` key (an empty array when
 // the run was not traced).
@@ -214,6 +272,23 @@ bool write_text_file(const std::string& path, const std::string& text,
     err << path << ": cannot write file\n";
     return false;
   }
+  return true;
+}
+
+// Writes a Prometheus exposition document for `--metrics-out`, running
+// the in-repo lint on it first so a malformed export fails loudly at
+// the producer instead of at the scraper.
+bool write_metrics_file(const std::string& path, const std::string& text,
+                        std::ostream& out, std::ostream& err) {
+  const auto checked = validate_prometheus_text(text);
+  if (!checked.ok()) {
+    err << "metrics self-check failed: " << checked.error().to_string()
+        << "\n";
+    return false;
+  }
+  if (!write_text_file(path, text, err)) return false;
+  out << "wrote metrics: " << checked.value() << " series to " << path
+      << "\n";
   return true;
 }
 
@@ -261,7 +336,10 @@ int run_help(std::ostream& out) {
          "[--group col,..] [--drop col,..]\n"
          "               [--format table|csv|json|md] [--max-rows N] "
          "[--engine direct|son] [--partitions N] [--threads N] [--stats]\n"
-         "               [--trace FILE] [--stats-json FILE]\n"
+         "               [--trace FILE] [--stats-json FILE] [--metrics-out "
+         "FILE] [--flight-dump FILE]\n"
+         "               [--log-level debug|info|warn|error|off] "
+         "[--log-file FILE]\n"
          "  gpumine predict --csv trace.csv --target ITEM [--holdout F] "
          "[--min-confidence F] [--seed N]\n"
          "  gpumine report --csv trace.csv [--principal COL] [--runtime "
@@ -276,10 +354,14 @@ int run_help(std::ostream& out) {
          "--out FILE [+ mine flags]\n"
          "  gpumine serve --snapshot FILE [--host H] [--port P] "
          "[--threads N] [--check]\n"
-         "                [--trace FILE] [--stats-json FILE]\n"
+         "                [--trace FILE] [--stats-json FILE] [--metrics-out "
+         "FILE] [--flight-dump FILE]\n"
+         "                [--slow-query-ms N] [--log-level "
+         "debug|info|warn|error|off] [--log-file FILE]\n"
          "  gpumine query [--host H] [--port P] (--keyword ITEM | "
          "--items A,B | --stats | --reload | --health) [--trace FILE]\n"
          "  gpumine trace-check --file trace.json\n"
+         "  gpumine metrics-check --file metrics.prom\n"
          "  gpumine help\n";
   return 0;
 }
@@ -407,6 +489,10 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
   const std::string format = args.get_or("format", "table");
   const bool stats = args.has("stats");
   const std::string stats_json_path = args.get_or("stats-json", "");
+  const std::string metrics_out_path = args.get_or("metrics-out", "");
+  if (!configure_logging(args, err)) return 2;
+  FlightDumpSession flight;
+  if (!flight.arm(args, err)) return 2;
   TraceSession session(args, err);
   const auto max_rows = args.get_uint("max-rows", 10);
   if (!max_rows.ok()) {
@@ -483,10 +569,17 @@ int run_mine(const std::vector<std::string>& args_raw, std::ostream& out,
     out << "trace spans (per name, sorted):\n"
         << Tracer::instance().summary_table();
   }
+  result.metrics.rule_stage = analysis.stage;
   if (!stats_json_path.empty()) {
-    result.metrics.rule_stage = analysis.stage;
     if (!write_text_file(stats_json_path,
                          with_trace_spans(result.metrics.to_json()), err)) {
+      return 1;
+    }
+  }
+  if (!metrics_out_path.empty()) {
+    if (!write_metrics_file(metrics_out_path,
+                            core::render_prometheus(result.metrics), out,
+                            err)) {
       return 1;
     }
   }
@@ -891,9 +984,22 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
   const auto threads = args.get_uint("threads", 4);
   const bool check_only = args.has("check");
   const std::string stats_json_path = args.get_or("stats-json", "");
+  const std::string metrics_out_path = args.get_or("metrics-out", "");
+  const auto slow_query_ms = args.get_double("slow-query-ms", 0.0);
+  if (!configure_logging(args, err)) return 2;
+  FlightDumpSession flight;
+  if (!flight.arm(args, err)) return 2;
   TraceSession session(args, err);
-  if (!port.ok() || !threads.ok()) {
-    err << (!port.ok() ? port.error() : threads.error()).to_string() << "\n";
+  if (!port.ok() || !threads.ok() || !slow_query_ms.ok()) {
+    err << (!port.ok()      ? port.error()
+            : !threads.ok() ? threads.error()
+                            : slow_query_ms.error())
+               .to_string()
+        << "\n";
+    return 2;
+  }
+  if (slow_query_ms.value() < 0.0) {
+    err << "--slow-query-ms must be >= 0\n";
     return 2;
   }
   if (snapshot_path.empty()) {
@@ -924,6 +1030,13 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
       << build_seconds << "s\n";
 
   serve::RequestHandler handler(std::move(engine), snapshot_path);
+  if (slow_query_ms.value() > 0.0) {
+    // The slow-query log reads the request's spans out of the flight
+    // rings, so the flight sink must be on for the subtree to exist.
+    handler.set_slow_query_ns(
+        static_cast<std::uint64_t>(slow_query_ms.value() * 1e6));
+    FlightRecorder::instance().enable_recording();
+  }
   serve::ServerConfig config;
   config.host = host;
   config.port = static_cast<std::uint16_t>(port.value());
@@ -945,10 +1058,30 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
       server.stop();
       return 1;
     }
+    // And the exposition path: scrape /metrics, then lint the document
+    // the way promtool would.
+    const serve::HttpResponse metrics = handler.handle("GET", "/metrics");
+    if (metrics.status != 200) {
+      err << "metrics check failed with status " << metrics.status << "\n";
+      server.stop();
+      return 1;
+    }
+    const auto lint = validate_prometheus_text(metrics.body);
+    if (!lint.ok()) {
+      err << "metrics self-check failed: " << lint.error().to_string()
+          << "\n";
+      server.stop();
+      return 1;
+    }
+    out << "metrics check ok: " << lint.value() << " series\n";
     server.stop();
     if (!stats_json_path.empty() &&
         !write_text_file(stats_json_path,
                          handler.handle("GET", "/stats").body, err)) {
+      return 1;
+    }
+    if (!metrics_out_path.empty() &&
+        !write_metrics_file(metrics_out_path, metrics.body, out, err)) {
       return 1;
     }
     return session.finish(out) ? 0 : 1;
@@ -967,6 +1100,11 @@ int run_serve(const std::vector<std::string>& args_raw, std::ostream& out,
   if (!stats_json_path.empty() &&
       !write_text_file(stats_json_path, handler.handle("GET", "/stats").body,
                        err)) {
+    return 1;
+  }
+  if (!metrics_out_path.empty() &&
+      !write_metrics_file(metrics_out_path,
+                          handler.handle("GET", "/metrics").body, out, err)) {
     return 1;
   }
   out << "stopped\n";
@@ -1066,6 +1204,30 @@ int run_trace_check(const std::vector<std::string>& args_raw,
   return 0;
 }
 
+int run_metrics_check(const std::vector<std::string>& args_raw,
+                      std::ostream& out, std::ostream& err) {
+  auto parsed = Args::parse(args_raw);
+  if (!parsed.ok()) {
+    err << parsed.error().to_string() << "\n";
+    return 2;
+  }
+  const Args& args = parsed.value();
+  const std::string file = args.get_or("file", "");
+  if (file.empty()) {
+    err << "--file is required (an exposition file from --metrics-out)\n";
+    return 2;
+  }
+  if (!reject_unused(args, err)) return 2;
+  const auto checked = validate_prometheus_file(file);
+  if (!checked.ok()) {
+    err << "invalid metrics: " << checked.error().to_string() << "\n";
+    return 1;
+  }
+  out << "ok: " << checked.value() << " well-formed series in " << file
+      << "\n";
+  return 0;
+}
+
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
@@ -1084,6 +1246,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "serve") return run_serve(rest, out, err);
   if (command == "query") return run_query(rest, out, err);
   if (command == "trace-check") return run_trace_check(rest, out, err);
+  if (command == "metrics-check") return run_metrics_check(rest, out, err);
   err << "unknown command '" << command << "' (try: gpumine help)\n";
   return 2;
 }

@@ -70,5 +70,9 @@ int run_query(const std::vector<std::string>& args, std::ostream& out,
 /// self-check the exporter runs before reporting success).
 int run_trace_check(const std::vector<std::string>& args, std::ostream& out,
                     std::ostream& err);
+/// Lints a Prometheus exposition file written by `--metrics-out` (the
+/// same check `serve --check` runs against its own /metrics scrape).
+int run_metrics_check(const std::vector<std::string>& args, std::ostream& out,
+                      std::ostream& err);
 
 }  // namespace gpumine::cli

@@ -1,0 +1,718 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/ensure.hpp"
+
+namespace gpumine {
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// Exposition-format sample values: integers render exactly, everything
+// else gets the shortest %g that round-trips (so 0.1 prints as "0.1",
+// not 17 digits of noise); infinities use the spelling Prometheus
+// expects.
+std::string fmt_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::rint(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  for (int precision = 1; precision < 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_escaped_label_value(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_escaped_help(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+// `{k1="v1",k2="v2"}` (empty string when there are no labels); `extra`
+// appends one more pair, used for the histogram `le` label.
+std::string render_labels(const MetricLabels& labels,
+                          const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  auto add = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped_label_value(out, v);
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) add(k, v);
+  if (extra != nullptr) add(extra->first, extra->second);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  GPUMINE_ENSURE(false, "unknown MetricType");
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  GPUMINE_ENSURE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                     std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                         bounds_.end(),
+                 "histogram bounds must be strictly ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  // le buckets are inclusive: a value equal to a bound belongs to that
+  // bound's bucket, hence lower_bound.
+  const auto i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge_bucket(std::size_t i, std::uint64_t n, double sum) {
+  GPUMINE_ENSURE(i <= bounds_.size(), "merge_bucket index out of range");
+  buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + sum,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_for(std::string_view name,
+                                                     std::string_view help,
+                                                     MetricType type,
+                                                     MetricLabels&& labels) {
+  GPUMINE_ENSURE(valid_metric_name(name),
+                 "invalid metric name: " + std::string(name));
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    GPUMINE_ENSURE(valid_label_name(labels[i].first),
+                   "invalid label name: " + labels[i].first);
+    GPUMINE_ENSURE(i == 0 || labels[i - 1].first != labels[i].first,
+                   "duplicate label key: " + labels[i].first);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& family = it->second;
+  if (inserted) {
+    family.type = type;
+    family.help = std::string(help);
+  } else {
+    GPUMINE_ENSURE(family.type == type,
+                   "metric re-registered with a different type: " +
+                       std::string(name));
+  }
+  for (auto& series : family.series) {
+    if (series->labels == labels) return *series;
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  family.series.push_back(std::move(series));
+  return *family.series.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  MetricLabels labels) {
+  Series& s = series_for(name, help, MetricType::kCounter, std::move(labels));
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              MetricLabels labels) {
+  Series& s = series_for(name, help, MetricType::kGauge, std::move(labels));
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> bounds,
+                                      MetricLabels labels) {
+  Series& s = series_for(name, help, MetricType::kHistogram, std::move(labels));
+  if (!s.histogram) {
+    s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    GPUMINE_ENSURE(s.histogram->bounds() == bounds,
+                   "histogram re-registered with different bounds: " +
+                       std::string(name));
+  }
+  return *s.histogram;
+}
+
+void MetricsRegistry::add_collector(std::function<void()> update) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  collectors_.push_back(std::move(update));
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  // Collectors may register instruments (first scrape), so they run
+  // outside the registry lock.
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors = collectors_;
+  }
+  for (const auto& update : collectors) update();
+
+  RegistrySnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.families.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilySnapshot fam;
+    fam.name = name;
+    fam.help = family.help;
+    fam.type = family.type;
+    fam.series.reserve(family.series.size());
+    for (const auto& series : family.series) {
+      SeriesSnapshot s;
+      s.labels = series->labels;
+      if (series->counter) {
+        s.value = static_cast<double>(series->counter->value());
+      } else if (series->gauge) {
+        s.value = series->gauge->value();
+      } else if (series->histogram) {
+        const Histogram& h = *series->histogram;
+        s.histogram.bounds = h.bounds();
+        s.histogram.cumulative.resize(h.bounds().size() + 1);
+        std::uint64_t running = 0;
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          running += h.bucket_count(i);
+          s.histogram.cumulative[i] = running;
+        }
+        s.histogram.sum = h.sum();
+        // A snapshot taken mid-observe could see count ahead of the
+        // bucket writes; the cumulative total is the consistent view.
+        s.histogram.count = running;
+      }
+      fam.series.push_back(std::move(s));
+    }
+    std::sort(fam.series.begin(), fam.series.end(),
+              [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+                return a.labels < b.labels;
+              });
+    out.families.push_back(std::move(fam));
+  }
+  return out;  // std::map iteration order is already name-sorted
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  return snapshot().to_prometheus();
+}
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& fam : families) {
+    out += "# HELP ";
+    out += fam.name;
+    out += ' ';
+    append_escaped_help(out, fam.help);
+    out += '\n';
+    out += "# TYPE ";
+    out += fam.name;
+    out += ' ';
+    out += to_string(fam.type);
+    out += '\n';
+    for (const auto& s : fam.series) {
+      if (fam.type == MetricType::kHistogram) {
+        for (std::size_t i = 0; i < s.histogram.cumulative.size(); ++i) {
+          std::pair<std::string, std::string> le{
+              "le", i < s.histogram.bounds.size()
+                        ? fmt_value(s.histogram.bounds[i])
+                        : "+Inf"};
+          out += fam.name;
+          out += "_bucket";
+          out += render_labels(s.labels, &le);
+          out += ' ';
+          out += fmt_value(static_cast<double>(s.histogram.cumulative[i]));
+          out += '\n';
+        }
+        out += fam.name;
+        out += "_sum";
+        out += render_labels(s.labels, nullptr);
+        out += ' ';
+        out += fmt_value(s.histogram.sum);
+        out += '\n';
+        out += fam.name;
+        out += "_count";
+        out += render_labels(s.labels, nullptr);
+        out += ' ';
+        out += fmt_value(static_cast<double>(s.histogram.count));
+        out += '\n';
+      } else {
+        out += fam.name;
+        out += render_labels(s.labels, nullptr);
+        out += ' ';
+        out += fmt_value(s.value);
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// --- exposition-format lint -------------------------------------------------
+
+struct ParsedSample {
+  std::string name;
+  MetricLabels labels;  // in document order
+  double value = 0.0;
+};
+
+// Parses `name{k="v",...} value [timestamp]`. Returns false with
+// `error` set on malformed input.
+bool parse_sample(const std::string& line, ParsedSample* out,
+                  std::string* error) {
+  std::size_t pos = 0;
+  std::size_t name_end = pos;
+  while (name_end < line.size() && line[name_end] != '{' &&
+         line[name_end] != ' ' && line[name_end] != '\t') {
+    ++name_end;
+  }
+  out->name = line.substr(pos, name_end - pos);
+  if (!valid_metric_name(out->name)) {
+    *error = "invalid metric name '" + out->name + "'";
+    return false;
+  }
+  pos = name_end;
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::size_t key_end = pos;
+      while (key_end < line.size() && line[key_end] != '=') ++key_end;
+      if (key_end >= line.size()) {
+        *error = "unterminated label pair";
+        return false;
+      }
+      std::string key = line.substr(pos, key_end - pos);
+      if (!valid_label_name(key)) {
+        *error = "invalid label name '" + key + "'";
+        return false;
+      }
+      if (key.rfind("__", 0) == 0) {
+        *error = "reserved label name '" + key + "'";
+        return false;
+      }
+      pos = key_end + 1;
+      if (pos >= line.size() || line[pos] != '"') {
+        *error = "label value for '" + key + "' is not quoted";
+        return false;
+      }
+      ++pos;
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\') {
+          if (pos + 1 >= line.size()) {
+            *error = "dangling escape in label value";
+            return false;
+          }
+          char esc = line[pos + 1];
+          if (esc == 'n') {
+            value += '\n';
+          } else if (esc == '\\' || esc == '"') {
+            value += esc;
+          } else {
+            *error = "invalid escape in label value";
+            return false;
+          }
+          pos += 2;
+        } else {
+          value += line[pos++];
+        }
+      }
+      if (pos >= line.size()) {
+        *error = "unterminated label value";
+        return false;
+      }
+      ++pos;  // closing quote
+      out->labels.emplace_back(std::move(key), std::move(value));
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') {
+      *error = "unterminated label block";
+      return false;
+    }
+    ++pos;
+  }
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  std::size_t value_end = pos;
+  while (value_end < line.size() && line[value_end] != ' ' &&
+         line[value_end] != '\t') {
+    ++value_end;
+  }
+  std::string value_str = line.substr(pos, value_end - pos);
+  if (value_str.empty()) {
+    *error = "sample has no value";
+    return false;
+  }
+  if (value_str == "+Inf" || value_str == "Inf") {
+    out->value = std::numeric_limits<double>::infinity();
+  } else if (value_str == "-Inf") {
+    out->value = -std::numeric_limits<double>::infinity();
+  } else if (value_str == "NaN") {
+    out->value = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    char* end = nullptr;
+    out->value = std::strtod(value_str.c_str(), &end);
+    if (end != value_str.c_str() + value_str.size()) {
+      *error = "unparseable sample value '" + value_str + "'";
+      return false;
+    }
+  }
+  // Anything left after the value must be an integer timestamp.
+  pos = value_end;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  if (pos < line.size()) {
+    std::size_t ts = pos;
+    if (line[ts] == '-') ++ts;
+    if (ts >= line.size()) {
+      *error = "trailing garbage after value";
+      return false;
+    }
+    for (; ts < line.size(); ++ts) {
+      if (!std::isdigit(static_cast<unsigned char>(line[ts]))) {
+        *error = "trailing garbage after value";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Per-histogram-series state keyed by the label set minus `le`.
+struct HistogramSeries {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+  bool has_sum = false;
+  bool has_count = false;
+  double count = 0.0;
+};
+
+struct FamilyState {
+  bool has_help = false;
+  bool has_type = false;
+  std::string type;
+  bool sampled = false;
+  std::unordered_map<std::string, HistogramSeries> histograms;
+};
+
+std::string labels_key(const MetricLabels& labels, bool drop_le) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    if (drop_le && k == "le") continue;
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+Error lint_error(std::size_t line_no, const std::string& message) {
+  return Error{"metrics line " + std::to_string(line_no), message};
+}
+
+Result<std::size_t> check_histogram_family(const std::string& name,
+                                           const FamilyState& state,
+                                           std::size_t line_no) {
+  for (const auto& [labels, h] : state.histograms) {
+    auto buckets = h.buckets;
+    std::stable_sort(buckets.begin(), buckets.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    if (buckets.empty() || !std::isinf(buckets.back().first)) {
+      return lint_error(line_no,
+                        "histogram '" + name + "' is missing a +Inf bucket");
+    }
+    for (std::size_t i = 1; i < buckets.size(); ++i) {
+      if (buckets[i].first == buckets[i - 1].first) {
+        return lint_error(line_no, "histogram '" + name +
+                                       "' has duplicate le buckets");
+      }
+      if (buckets[i].second < buckets[i - 1].second) {
+        return lint_error(line_no,
+                          "histogram '" + name +
+                              "' bucket counts are not cumulative");
+      }
+    }
+    if (!h.has_sum || !h.has_count) {
+      return lint_error(line_no, "histogram '" + name +
+                                     "' is missing _sum or _count");
+    }
+    if (buckets.back().second != h.count) {
+      return lint_error(line_no, "histogram '" + name +
+                                     "' +Inf bucket disagrees with _count");
+    }
+  }
+  return std::size_t{0};
+}
+
+}  // namespace
+
+Result<std::size_t> validate_prometheus_text(const std::string& text) {
+  if (text.empty()) return Error{"metrics", "document is empty"};
+  std::unordered_map<std::string, FamilyState> families;
+  std::unordered_set<std::string> closed;
+  std::unordered_set<std::string> seen_series;
+  std::string current;
+  std::size_t series = 0;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto enter_family = [&](const std::string& name,
+                          std::size_t at) -> Result<std::size_t> {
+    if (name != current) {
+      if (!current.empty()) {
+        closed.insert(current);
+        const FamilyState& done = families[current];
+        if (done.type == "histogram") {
+          auto check = check_histogram_family(current, done, at);
+          if (!check.ok()) return check;
+        }
+      }
+      if (closed.count(name) != 0) {
+        return lint_error(at, "family '" + name +
+                                  "' is interleaved with other families");
+      }
+      current = name;
+    }
+    return std::size_t{0};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line);
+      std::string hash, kind, name;
+      hdr >> hash >> kind >> name;
+      if (kind != "HELP" && kind != "TYPE") continue;  // plain comment
+      if (!valid_metric_name(name)) {
+        return lint_error(line_no, "invalid metric name in " + kind);
+      }
+      auto entered = enter_family(name, line_no);
+      if (!entered.ok()) return entered;
+      FamilyState& fam = families[name];
+      if (fam.sampled) {
+        return lint_error(line_no,
+                          kind + " for '" + name + "' appears after samples");
+      }
+      if (kind == "HELP") {
+        if (fam.has_help) {
+          return lint_error(line_no, "duplicate HELP for '" + name + "'");
+        }
+        fam.has_help = true;
+      } else {
+        if (fam.has_type) {
+          return lint_error(line_no, "duplicate TYPE for '" + name + "'");
+        }
+        std::string type;
+        hdr >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return lint_error(line_no,
+                            "unknown TYPE '" + type + "' for '" + name + "'");
+        }
+        fam.has_type = true;
+        fam.type = type;
+      }
+      continue;
+    }
+
+    ParsedSample sample;
+    std::string parse_err;
+    if (!parse_sample(line, &sample, &parse_err)) {
+      return lint_error(line_no, parse_err);
+    }
+    {
+      std::unordered_set<std::string> keys;
+      for (const auto& [k, v] : sample.labels) {
+        if (!keys.insert(k).second) {
+          return lint_error(line_no, "duplicate label '" + k + "'");
+        }
+      }
+    }
+
+    // Map _bucket/_sum/_count samples back to their histogram family.
+    std::string family_name = sample.name;
+    bool is_bucket = false, is_sum = false, is_count = false;
+    for (const auto& [suffix, flag] :
+         {std::pair<const char*, bool*>{"_bucket", &is_bucket},
+          {"_sum", &is_sum},
+          {"_count", &is_count}}) {
+      std::string_view sv(sample.name);
+      std::string_view suf(suffix);
+      if (sv.size() > suf.size() &&
+          sv.substr(sv.size() - suf.size()) == suf) {
+        std::string base(sv.substr(0, sv.size() - suf.size()));
+        auto it = families.find(base);
+        if (it != families.end() && it->second.type == "histogram") {
+          family_name = base;
+          *flag = true;
+          break;
+        }
+      }
+    }
+
+    auto entered = enter_family(family_name, line_no);
+    if (!entered.ok()) return entered;
+    FamilyState& fam = families[family_name];
+    if (!fam.has_help || !fam.has_type) {
+      return lint_error(line_no, "sample for '" + family_name +
+                                     "' before its HELP and TYPE");
+    }
+    fam.sampled = true;
+
+    std::string series_key =
+        sample.name + '\x1d' + labels_key(sample.labels, /*drop_le=*/false);
+    if (!seen_series.insert(series_key).second) {
+      return lint_error(line_no, "duplicate series '" + sample.name + "'");
+    }
+    ++series;
+
+    if (fam.type == "counter") {
+      if (std::isnan(sample.value) || sample.value < 0.0 ||
+          std::isinf(sample.value)) {
+        return lint_error(line_no, "counter '" + sample.name +
+                                       "' has a non-monotone-capable value");
+      }
+    }
+    if (fam.type == "histogram") {
+      HistogramSeries& h =
+          fam.histograms[labels_key(sample.labels, /*drop_le=*/true)];
+      if (is_bucket) {
+        const std::string* le = nullptr;
+        for (const auto& [k, v] : sample.labels) {
+          if (k == "le") le = &v;
+        }
+        if (le == nullptr) {
+          return lint_error(line_no, "histogram bucket without an le label");
+        }
+        double bound;
+        if (*le == "+Inf") {
+          bound = std::numeric_limits<double>::infinity();
+        } else {
+          char* end = nullptr;
+          bound = std::strtod(le->c_str(), &end);
+          if (end != le->c_str() + le->size()) {
+            return lint_error(line_no, "unparseable le value '" + *le + "'");
+          }
+        }
+        h.buckets.emplace_back(bound, sample.value);
+      } else if (is_sum) {
+        h.has_sum = true;
+      } else if (is_count) {
+        h.has_count = true;
+        h.count = sample.value;
+      } else {
+        return lint_error(line_no, "unexpected bare sample '" + sample.name +
+                                       "' in histogram family");
+      }
+    }
+  }
+
+  if (!current.empty()) {
+    const FamilyState& done = families[current];
+    if (done.type == "histogram") {
+      auto check = check_histogram_family(current, done, line_no);
+      if (!check.ok()) return check;
+    }
+  }
+  if (series == 0) return Error{"metrics", "document has no samples"};
+  return series;
+}
+
+Result<std::size_t> validate_prometheus_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{path, "cannot open metrics file"};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto result = validate_prometheus_text(buf.str());
+  if (!result.ok()) {
+    return Error{path, result.error().to_string()};
+  }
+  return result;
+}
+
+}  // namespace gpumine

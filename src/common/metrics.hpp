@@ -1,0 +1,204 @@
+// Unified metrics registry with Prometheus text exposition.
+//
+// Instruments are the hot path: a Counter is one relaxed fetch_add, a
+// Gauge one relaxed store, a Histogram one bucket fetch_add plus a CAS
+// loop on the running sum — no locks anywhere on the recording side.
+// Registration (cold) takes a mutex and returns a reference that stays
+// valid for the registry's lifetime, so call sites register once and
+// cache the reference.
+//
+// A registry is an instantiable object (the serve layer builds a fresh
+// one per scrape from its lock-free ServerMetrics snapshot; the CLI
+// builds one from MiningMetrics for `--metrics-out`); `instance()` is
+// the process-wide default for code that wants a shared sink.
+// Collectors registered with add_collector() run at snapshot time, so
+// adapters over existing metrics structs refresh their gauges exactly
+// when a scrape happens.
+//
+// snapshot() is deterministic: families sorted by name, series sorted
+// by their rendered label string — the series *set* of two registries
+// fed the same registrations is byte-identical regardless of thread
+// count or registration order. to_prometheus() renders text exposition
+// format 0.0.4 (`# HELP` / `# TYPE` before samples, histograms as
+// cumulative `_bucket`/`_sum`/`_count` with an explicit `+Inf` le).
+// validate_prometheus_text() is the matching self-contained lint used
+// by tests, `serve --check`, and the `metrics-check` subcommand.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace gpumine {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* to_string(MetricType type);
+
+/// Label set for one series; keys are sorted (and checked unique) at
+/// registration so identical label sets always compare equal.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bound histogram: `bounds` are ascending bucket upper bounds;
+/// an implicit +Inf bucket catches everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  /// Bulk-load pre-aggregated data (adapter path): adds `n` observations
+  /// to bucket `i` (i == bounds().size() selects +Inf) and `sum` to the
+  /// running sum, without per-value bucketing. Lets adapters over
+  /// existing histogram structs (e.g. the serve LatencyHistogram)
+  /// export their buckets losslessly.
+  void merge_bucket(std::size_t i, std::uint64_t n, double sum);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative count of bucket i (i == bounds().size() => +Inf).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 slots
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Point-in-time copy of one histogram series.
+struct HistogramSnapshot {
+  std::vector<double> bounds;               // ascending, without +Inf
+  std::vector<std::uint64_t> cumulative;    // bounds+1 entries, last = count
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct SeriesSnapshot {
+  MetricLabels labels;          // key-sorted
+  double value = 0.0;           // counter / gauge
+  HistogramSnapshot histogram;  // histogram only
+};
+
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kGauge;
+  std::vector<SeriesSnapshot> series;  // label-sorted
+};
+
+struct RegistrySnapshot {
+  std::vector<FamilySnapshot> families;  // name-sorted
+
+  /// Prometheus text exposition format 0.0.4.
+  [[nodiscard]] std::string to_prometheus() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry.
+  static MetricsRegistry& instance();
+
+  /// Registers (or finds) the series; the reference stays valid for the
+  /// registry's lifetime. Re-registering the same (name, labels) with a
+  /// different type or a conflicting label schema is a caller bug
+  /// (GPUMINE_ENSURE). Names must match [a-zA-Z_:][a-zA-Z0-9_:]*.
+  Counter& counter(std::string_view name, std::string_view help,
+                   MetricLabels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               MetricLabels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds, MetricLabels labels = {});
+
+  /// Runs before every snapshot(): adapters over snapshot-style metrics
+  /// structs refresh their gauges here.
+  void add_collector(std::function<void()> update);
+
+  /// Deterministic copy: families name-sorted, series label-sorted.
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// snapshot().to_prometheus().
+  [[nodiscard]] std::string render_prometheus() const;
+
+ private:
+  struct Series {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kGauge;
+    std::string help;
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Series& series_for(std::string_view name, std::string_view help,
+                     MetricType type, MetricLabels&& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+  std::vector<std::function<void()>> collectors_;
+};
+
+/// Lints a text exposition document the way `promtool check metrics`
+/// would: every sample's family declares `# HELP` and `# TYPE` first,
+/// metric and label names are well-formed, no series appears twice,
+/// families are not interleaved, counter samples are finite and
+/// non-negative, and each histogram carries a `+Inf` bucket with
+/// cumulative (monotone) bucket counts that agree with `_count`.
+/// Returns the number of distinct series on success.
+[[nodiscard]] Result<std::size_t> validate_prometheus_text(
+    const std::string& text);
+
+/// Same check over a file on disk.
+[[nodiscard]] Result<std::size_t> validate_prometheus_file(
+    const std::string& path);
+
+}  // namespace gpumine

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/arena.hpp"
+#include "common/flight.hpp"
 
 namespace gpumine {
 namespace trace_detail {
@@ -84,8 +85,20 @@ Tracer& Tracer::instance() {
   return tracer;
 }
 
-void Tracer::enable() { enabled_.store(true, std::memory_order_relaxed); }
-void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+void Tracer::enable() {
+  sinks_.fetch_or(kSinkTrace, std::memory_order_relaxed);
+}
+void Tracer::disable() {
+  sinks_.fetch_and(~kSinkTrace, std::memory_order_relaxed);
+}
+
+void Tracer::set_flight_recording(bool on) {
+  if (on) {
+    sinks_.fetch_or(kSinkFlight, std::memory_order_relaxed);
+  } else {
+    sinks_.fetch_and(~kSinkFlight, std::memory_order_relaxed);
+  }
+}
 
 void Tracer::reset() {
   const std::lock_guard<std::mutex> lock(registry_mutex_);
@@ -117,6 +130,14 @@ trace_detail::ThreadBuffer& Tracer::buffer_for_this_thread() {
 
 void Tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t duration_ns, std::uint32_t depth) {
+  const std::uint32_t sinks = sinks_.load(std::memory_order_relaxed);
+  if ((sinks & kSinkFlight) != 0) {
+    FlightRecorder::instance().record_span(name, start_ns, duration_ns,
+                                           depth);
+  }
+  if ((sinks & kSinkTrace) == 0 && sinks != 0) {
+    return;  // flight-only: skip the unbounded trace buffers
+  }
   trace_detail::TlsSlot& slot = trace_detail::tls_slot();
   trace_detail::ThreadBuffer* buffer = slot.buffer;
   if (buffer == nullptr ||

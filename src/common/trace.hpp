@@ -71,12 +71,30 @@ struct ThreadBuffer;
 /// with recording and see every event published before the call.
 class Tracer {
  public:
+  /// record() routes completed spans to any combination of sinks: the
+  /// full trace buffers (kSinkTrace, toggled by enable()/disable()) and
+  /// the bounded FlightRecorder rings (kSinkFlight). A Span costs one
+  /// relaxed load whether zero, one, or both sinks are on.
+  static constexpr std::uint32_t kSinkTrace = 1u;
+  static constexpr std::uint32_t kSinkFlight = 2u;
+
   static Tracer& instance();
 
   void enable();
   void disable();
   [[nodiscard]] bool enabled() const {
-    return enabled_.load(std::memory_order_relaxed);
+    return (sinks_.load(std::memory_order_relaxed) & kSinkTrace) != 0;
+  }
+
+  /// Toggles the flight-recorder sink (independent of enable()).
+  void set_flight_recording(bool on);
+  [[nodiscard]] bool flight_recording() const {
+    return (sinks_.load(std::memory_order_relaxed) & kSinkFlight) != 0;
+  }
+
+  /// True when any sink wants spans — the Span fast-path check.
+  [[nodiscard]] bool active() const {
+    return sinks_.load(std::memory_order_relaxed) != 0;
   }
 
   /// Drops all recorded events and thread registrations. Requires
@@ -120,7 +138,7 @@ class Tracer {
 
   trace_detail::ThreadBuffer& buffer_for_this_thread();
 
-  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> sinks_{0};
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex registry_mutex_;
   std::vector<std::unique_ptr<trace_detail::ThreadBuffer>> buffers_;
@@ -149,7 +167,7 @@ class Span {
  public:
   explicit Span(const char* name) {
     Tracer& tracer = Tracer::instance();
-    if (tracer.enabled()) {
+    if (tracer.active()) {
       name_ = name;
       start_ns_ = tracer.now_ns();
       depth_ = depth_counter()++;

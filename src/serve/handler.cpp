@@ -6,8 +6,11 @@
 #include <vector>
 
 #include "analysis/export.hpp"
+#include "common/flight.hpp"
+#include "common/log.hpp"
 #include "common/trace.hpp"
 #include "core/snapshot.hpp"
+#include "serve/prometheus.hpp"
 
 namespace gpumine::serve {
 namespace {
@@ -69,6 +72,8 @@ Endpoint classify(std::string_view path) {
   if (path == "/support") return Endpoint::kSupport;
   if (path == "/stats") return Endpoint::kStats;
   if (path == "/reload") return Endpoint::kReload;
+  if (path == "/healthz") return Endpoint::kHealth;
+  if (path == "/metrics") return Endpoint::kMetrics;
   return Endpoint::kOther;
 }
 
@@ -108,14 +113,53 @@ HttpResponse RequestHandler::handle(std::string_view method,
                                     ? target
                                     : target.substr(0, question);
   const auto begin = std::chrono::steady_clock::now();
-  GPUMINE_SPAN("serve/request");
-  HttpResponse response = route(method, target);
+  // Tracer-clock stamp of the request start, for pulling this request's
+  // span subtree out of the flight ring if it turns out slow.
+  const std::uint64_t trace_start_ns =
+      slow_query_ns_ != 0 ? Tracer::instance().now_ns() : 0;
+  HttpResponse response;
+  {
+    GPUMINE_SPAN("serve/request");
+    response = route(method, target);
+  }
   const auto nanos = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - begin)
           .count());
   metrics_.record(classify(path), response.status, nanos);
+  if (slow_query_ns_ != 0 && nanos >= slow_query_ns_) {
+    log_slow_query(method, target, response.status, nanos, trace_start_ns);
+  }
   return response;
+}
+
+void RequestHandler::log_slow_query(std::string_view method,
+                                    std::string_view target, int status,
+                                    std::uint64_t nanos,
+                                    std::uint64_t trace_start_ns) {
+  // The request's own spans: everything this thread completed since the
+  // request began. Empty when flight recording is off.
+  std::string spans = "[";
+  bool first = true;
+  for (const FlightRecorder::SpanCopy& span :
+       FlightRecorder::instance().thread_spans_since(trace_start_ns)) {
+    if (!first) spans += ',';
+    first = false;
+    spans += "{\"name\":\"" + analysis::json_escape(span.name) +
+             "\",\"start_us\":" + fmt(static_cast<double>(span.start_ns -
+                                                          trace_start_ns) /
+                                      1e3) +
+             ",\"dur_us\":" + fmt(static_cast<double>(span.duration_ns) / 1e3) +
+             ",\"depth\":" + std::to_string(span.depth) + "}";
+  }
+  spans += ']';
+  log_warn("serve", "slow query",
+           {{"method", method},
+            {"target", target},
+            {"status", status},
+            {"latency_ms", static_cast<double>(nanos) / 1e6},
+            {"threshold_ms", static_cast<double>(slow_query_ns_) / 1e6},
+            LogField::raw("spans", spans)});
 }
 
 HttpResponse RequestHandler::route(std::string_view method,
@@ -195,6 +239,17 @@ HttpResponse RequestHandler::route(std::string_view method,
     body += "}}";
     return {200, "application/json", std::move(body)};
   }
+  if (path == "/metrics") {
+    const std::shared_ptr<const QueryEngine> engine = handle_.get();
+    SnapshotShape shape;
+    shape.db_size = engine->db_size();
+    shape.items = engine->catalog().size();
+    shape.itemsets = engine->num_itemsets();
+    shape.rules = engine->num_rules();
+    shape.keywords_with_rules = engine->num_keywords_with_rules();
+    return {200, kPrometheusContentType,
+            render_prometheus(metrics_.snapshot(), shape)};
+  }
   if (path == "/reload") {
     if (method != "POST" && method != "GET") {
       return error_response(405, "use POST /reload");
@@ -202,9 +257,13 @@ HttpResponse RequestHandler::route(std::string_view method,
     const auto reloaded = reload();
     metrics_.record_reload(reloaded.ok());
     if (!reloaded.ok()) {
+      log_error("serve", "reload failed",
+                {{"error", reloaded.error().to_string()}});
       return error_response(500, reloaded.error().to_string());
     }
     const std::shared_ptr<const QueryEngine> engine = handle_.get();
+    log_info("serve", "snapshot reloaded",
+             {{"rules", static_cast<std::uint64_t>(engine->num_rules())}});
     return {200, "application/json",
             "{\"reloaded\":true,\"rules\":" +
                 std::to_string(engine->num_rules()) + "}"};

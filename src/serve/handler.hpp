@@ -9,6 +9,7 @@
 //   GET  /query?keyword=NAME    pre-rendered rule JSON for the keyword
 //   GET  /support?items=A,B     support probe over the itemset family
 //   GET  /stats                 server metrics + snapshot shape
+//   GET  /metrics               Prometheus text exposition format 0.0.4
 //   POST /reload                re-read the snapshot file, atomic swap
 //   GET  /healthz               liveness probe
 //
@@ -17,6 +18,11 @@
 // under its endpoint. Responses for /query are the engine's cached
 // bytes — byte-identical across threads, reloads of identical
 // snapshots, and the one-shot CLI pipeline.
+//
+// Slow-query log: with set_slow_query_ns(t) and flight recording on,
+// any request slower than t gets a structured warn line carrying the
+// request's own span subtree pulled from the FlightRecorder ring —
+// post-hoc context for exactly the requests that need explaining.
 #pragma once
 
 #include <memory>
@@ -72,12 +78,21 @@ class RequestHandler {
     return snapshot_path_;
   }
 
+  /// Requests slower than `nanos` get a structured slow-query log line
+  /// (0 disables, the default). Set before serving starts.
+  void set_slow_query_ns(std::uint64_t nanos) { slow_query_ns_ = nanos; }
+  [[nodiscard]] std::uint64_t slow_query_ns() const { return slow_query_ns_; }
+
  private:
   HttpResponse route(std::string_view method, std::string_view target);
+  void log_slow_query(std::string_view method, std::string_view target,
+                      int status, std::uint64_t nanos,
+                      std::uint64_t trace_start_ns);
 
   EngineHandle<QueryEngine> handle_;
   std::string snapshot_path_;
   ServerMetrics metrics_;
+  std::uint64_t slow_query_ns_ = 0;
 };
 
 }  // namespace gpumine::serve

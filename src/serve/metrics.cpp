@@ -54,6 +54,10 @@ const char* endpoint_name(Endpoint endpoint) {
       return "stats";
     case Endpoint::kReload:
       return "reload";
+    case Endpoint::kHealth:
+      return "health";
+    case Endpoint::kMetrics:
+      return "metrics";
     case Endpoint::kOther:
       return "other";
   }
@@ -89,6 +93,17 @@ MetricsSnapshot ServerMetrics::snapshot() const {
     s.p50_us = to_us(e.latency.percentile_ns(0.50));
     s.p95_us = to_us(e.latency.percentile_ns(0.95));
     s.p99_us = to_us(e.latency.percentile_ns(0.99));
+    s.sum_ns = e.latency.sum_ns();
+    const std::uint64_t observed = e.latency.total();
+    s.mean_us = observed == 0 ? 0.0
+                              : to_us(s.sum_ns) /
+                                    static_cast<double>(observed);
+    s.min_us = to_us(e.latency.min_ns());
+    s.max_us = to_us(e.latency.max_ns());
+    s.bucket_counts.resize(LatencyHistogram::kBuckets);
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      s.bucket_counts[b] = e.latency.bucket_count(b);
+    }
     out.total_requests += s.requests;
     out.endpoints.push_back(std::move(s));
   }
@@ -116,6 +131,9 @@ std::string MetricsSnapshot::to_json() const {
     json += ",\"p50_us\":" + fmt(e.p50_us);
     json += ",\"p95_us\":" + fmt(e.p95_us);
     json += ",\"p99_us\":" + fmt(e.p99_us);
+    json += ",\"mean_us\":" + fmt(e.mean_us);
+    json += ",\"min_us\":" + fmt(e.min_us);
+    json += ",\"max_us\":" + fmt(e.max_us);
     json += '}';
   }
   json += "]}";

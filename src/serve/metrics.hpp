@@ -25,7 +25,10 @@
 
 namespace gpumine::serve {
 
-/// Lock-free log2-bucket latency histogram (nanoseconds).
+/// Lock-free log2-bucket latency histogram (nanoseconds). Alongside the
+/// bucket counts it tracks the exact sum, min and max, so /metrics can
+/// export a true Prometheus `_sum` and /stats can report the real mean
+/// rather than a 2x-quantized estimate.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 48;  // up to ~78 hours
@@ -34,6 +37,9 @@ class LatencyHistogram {
     std::size_t bucket = std::bit_width(nanos);
     if (bucket >= kBuckets) bucket = kBuckets - 1;
     buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(nanos, std::memory_order_relaxed);
+    update_min(nanos);
+    update_max(nanos);
   }
 
   [[nodiscard]] std::uint64_t total() const {
@@ -42,23 +48,67 @@ class LatencyHistogram {
     return sum;
   }
 
+  /// Exact sum of all recorded latencies, in nanoseconds.
+  [[nodiscard]] std::uint64_t sum_ns() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Exact smallest recorded latency; 0 when nothing has been recorded.
+  [[nodiscard]] std::uint64_t min_ns() const {
+    const std::uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == kNoMin ? 0 : v;
+  }
+  /// Exact largest recorded latency; 0 when nothing has been recorded.
+  [[nodiscard]] std::uint64_t max_ns() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  /// Raw (non-cumulative) count of bucket `i` — the /metrics exporter
+  /// re-buckets these into Prometheus cumulative `le` buckets.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
   /// Upper bound (in nanoseconds) of the bucket holding the p-quantile
   /// observation, p in [0, 1]. 0 when nothing has been recorded.
   [[nodiscard]] std::uint64_t percentile_ns(double p) const;
 
  private:
+  static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
+  void update_min(std::uint64_t nanos) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (nanos < cur && !min_.compare_exchange_weak(
+                              cur, nanos, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t nanos) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (nanos > cur && !max_.compare_exchange_weak(
+                              cur, nanos, std::memory_order_relaxed,
+                              std::memory_order_relaxed)) {
+    }
+  }
+
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{kNoMin};
+  std::atomic<std::uint64_t> max_{0};
 };
 
-/// The endpoints the handler distinguishes.
+/// The endpoints the handler distinguishes. Liveness probes (kHealth)
+/// and scrapes (kMetrics) get their own buckets so cheap machine-driven
+/// traffic does not skew kOther's latency percentiles or error counts.
 enum class Endpoint : std::size_t {
   kQuery = 0,
   kSupport,
   kStats,
   kReload,
+  kHealth,
+  kMetrics,
   kOther,
 };
-inline constexpr std::size_t kNumEndpoints = 5;
+inline constexpr std::size_t kNumEndpoints = 7;
 
 [[nodiscard]] const char* endpoint_name(Endpoint endpoint);
 
@@ -70,6 +120,14 @@ struct EndpointSnapshot {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  // Exact (not bucket-quantized) latency aggregates.
+  double mean_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+  std::uint64_t sum_ns = 0;
+  // Raw per-bucket counts (LatencyHistogram layout), consumed by the
+  // Prometheus exporter; not part of the /stats JSON.
+  std::vector<std::uint64_t> bucket_counts;
 };
 
 struct MetricsSnapshot {

@@ -1,0 +1,88 @@
+#include "serve/prometheus.hpp"
+
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace gpumine::serve {
+namespace {
+
+/// Prometheus `le` bounds (seconds) matching LatencyHistogram's log2
+/// nanosecond buckets: bucket i counts latencies with bit_width == i,
+/// upper bound 2^i - 1 ns. The saturating top bucket becomes +Inf.
+std::vector<double> latency_bounds_seconds() {
+  std::vector<double> bounds;
+  bounds.reserve(LatencyHistogram::kBuckets - 1);
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t ub_ns = i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+    bounds.push_back(static_cast<double>(ub_ns) / 1e9);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsSnapshot& metrics,
+                              const SnapshotShape& shape) {
+  MetricsRegistry registry;
+
+  registry
+      .gauge("gpumine_server_uptime_seconds",
+             "Seconds since the server started")
+      .set(metrics.uptime_seconds);
+
+  const std::vector<double> bounds = latency_bounds_seconds();
+  for (const EndpointSnapshot& e : metrics.endpoints) {
+    registry
+        .counter("gpumine_server_requests_total",
+                 "Requests handled, by endpoint", {{"endpoint", e.name}})
+        .add(e.requests);
+    registry
+        .counter("gpumine_server_errors_total",
+                 "Non-2xx responses, by endpoint", {{"endpoint", e.name}})
+        .add(e.errors);
+    Histogram& latency = registry.histogram(
+        "gpumine_server_request_latency_seconds",
+        "Request wall time, by endpoint", bounds, {{"endpoint", e.name}});
+    for (std::size_t b = 0; b < e.bucket_counts.size(); ++b) {
+      if (e.bucket_counts[b] != 0) {
+        latency.merge_bucket(b, e.bucket_counts[b], 0.0);
+      }
+    }
+    // The histogram tracks the exact sum separately from the log2
+    // buckets; fold it in without touching any count.
+    latency.merge_bucket(0, 0, static_cast<double>(e.sum_ns) / 1e9);
+  }
+
+  registry
+      .counter("gpumine_server_reloads_total",
+               "Snapshot reload attempts, by result", {{"result", "ok"}})
+      .add(metrics.reloads - metrics.reload_failures);
+  registry
+      .counter("gpumine_server_reloads_total",
+               "Snapshot reload attempts, by result", {{"result", "error"}})
+      .add(metrics.reload_failures);
+
+  registry
+      .gauge("gpumine_snapshot_db_size",
+             "Transactions in the loaded rule snapshot")
+      .set(static_cast<double>(shape.db_size));
+  registry
+      .gauge("gpumine_snapshot_items", "Items in the loaded rule snapshot")
+      .set(static_cast<double>(shape.items));
+  registry
+      .gauge("gpumine_snapshot_itemsets",
+             "Frequent itemsets in the loaded rule snapshot")
+      .set(static_cast<double>(shape.itemsets));
+  registry
+      .gauge("gpumine_snapshot_rules", "Rules in the loaded rule snapshot")
+      .set(static_cast<double>(shape.rules));
+  registry
+      .gauge("gpumine_snapshot_keywords_with_rules",
+             "Keywords with at least one rule in the loaded snapshot")
+      .set(static_cast<double>(shape.keywords_with_rules));
+
+  return registry.render_prometheus();
+}
+
+}  // namespace gpumine::serve

@@ -1,0 +1,36 @@
+// Prometheus adapter for the rule server: renders a ServerMetrics
+// snapshot plus the loaded snapshot's shape as text exposition format
+// 0.0.4 (the GET /metrics payload).
+//
+// A fresh common::MetricsRegistry is built per scrape from the lock-free
+// ServerMetrics counters, so the serving hot path never pays for label
+// lookups — and the exported series *set* is a pure function of the
+// compiled-in endpoint and bucket layout, hence byte-identical across
+// worker-thread counts (the bench asserts this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/metrics.hpp"
+
+namespace gpumine::serve {
+
+/// Shape of the currently loaded rule snapshot, exported as gauges.
+struct SnapshotShape {
+  std::uint64_t db_size = 0;
+  std::uint64_t items = 0;
+  std::uint64_t itemsets = 0;
+  std::uint64_t rules = 0;
+  std::uint64_t keywords_with_rules = 0;
+};
+
+/// The /metrics response body.
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& metrics,
+                                            const SnapshotShape& shape);
+
+/// Content type for the /metrics response.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace gpumine::serve

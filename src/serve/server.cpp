@@ -7,11 +7,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
 #include <utility>
+
+#include "common/log.hpp"
 
 namespace gpumine::serve {
 namespace {
@@ -122,6 +125,13 @@ Result<bool> Server::start() {
       config_.num_threads == 0 ? 1 : config_.num_threads);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  log_info("serve", "listening",
+           {{"host", config_.host},
+            {"port", static_cast<std::uint64_t>(port_)},
+            {"threads",
+             static_cast<std::uint64_t>(config_.num_threads == 0
+                                            ? 1
+                                            : config_.num_threads)}});
   return true;
 }
 
@@ -134,13 +144,16 @@ void Server::stop() {
     }
     return;
   }
-  // Unblock accept() and refuse new connections.
+  // Unblock accept() and refuse new connections. The -1 store waits
+  // until the accept thread is joined — it still reads listen_fd_, and
+  // an early write here races with that read (close alone is enough to
+  // make its accept() fail and the loop observe running_ == false).
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
     close_fd(listen_fd_);
-    listen_fd_ = -1;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  listen_fd_ = -1;
   // Unblock workers parked in recv() on persistent line sessions.
   {
     std::lock_guard lock(connections_mutex_);
@@ -148,6 +161,7 @@ void Server::stop() {
   }
   // Drains queued connections and joins the workers.
   pool_.reset();
+  log_info("serve", "stopped");
 }
 
 void Server::accept_loop() {
@@ -158,6 +172,7 @@ void Server::accept_loop() {
       // Listener closed by stop(), or a transient accept failure after
       // the client already gave up — either way, re-check running_.
       if (!running_.load(std::memory_order_acquire)) break;
+      log_debug("serve", "accept failed", {{"error", errno_text()}});
       continue;
     }
     {
@@ -202,6 +217,10 @@ void Server::serve_connection(int fd) {
       std::string_view method;
       std::string_view target;
       if (!parse_request_line(line, &method, &target)) {
+        log_debug("serve", "malformed request line",
+                  {{"line", std::string_view(line.data(),
+                                             std::min<std::size_t>(
+                                                 line.size(), 128))}});
         send_http_response(
             fd, {400, "application/json", "{\"error\":\"bad request\"}"});
         break;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/log.hpp"
 #include "core/snapshot.hpp"
 #include "serve/handler.hpp"
 #include "serve/query_engine.hpp"
@@ -471,6 +472,112 @@ TEST(Cli, MineTraceAndStatsJsonRoundTrip) {
   EXPECT_NE(stats_text.find("\"trace_spans\":"), std::string::npos);
   EXPECT_NE(stats_text.find("\"prep_stage\":"), std::string::npos);
   EXPECT_NE(stats_text.find("\"mine/fpgrowth\""), std::string::npos);
+}
+
+TEST(Cli, MineMetricsOutWritesLintedExposition) {
+  const std::string csv = temp_path("cli_metrics.csv");
+  const std::string prom = temp_path("cli_metrics.prom");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto mine = run_cli({"mine", "--csv", csv, "--keyword", "Failed",
+                             "--bare", "Status", "--metrics-out", prom});
+  ASSERT_EQ(mine.code, 0) << mine.err;
+  EXPECT_NE(mine.out.find("wrote metrics:"), std::string::npos);
+
+  // metrics-check accepts the file the miner just wrote.
+  const auto check = run_cli({"metrics-check", "--file", prom});
+  EXPECT_EQ(check.code, 0) << check.err;
+  EXPECT_NE(check.out.find("well-formed series"), std::string::npos);
+
+  std::ifstream in(prom);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("# TYPE gpumine_mining_wall_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE gpumine_rules_funnel_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("gpumine_prep_transactions{kind=\"input\"}"),
+            std::string::npos);
+}
+
+TEST(Cli, MetricsCheckRejectsMissingAndMalformedFiles) {
+  EXPECT_EQ(run_cli({"metrics-check"}).code, 2);
+  EXPECT_EQ(
+      run_cli({"metrics-check", "--file", temp_path("no_such.prom")}).code,
+      1);
+  const std::string bad = temp_path("cli_bad_metrics.prom");
+  {
+    std::ofstream out(bad);
+    out << "orphan_sample 1\n";
+  }
+  const auto result = run_cli({"metrics-check", "--file", bad});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("invalid metrics"), std::string::npos);
+}
+
+TEST(Cli, ServeCheckScrapesAndLintsMetrics) {
+  const std::string csv = temp_path("cli_serve_metrics.csv");
+  const std::string snap = temp_path("cli_serve_metrics.snap");
+  const std::string prom = temp_path("cli_serve_metrics.prom");
+  ASSERT_EQ(run_cli({"synth", "--trace", "pai", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"snapshot", "--csv", csv, "--out", snap}).code, 0);
+
+  const auto check = run_cli({"serve", "--snapshot", snap, "--port", "0",
+                              "--check", "--metrics-out", prom});
+  ASSERT_EQ(check.code, 0) << check.err;
+  EXPECT_NE(check.out.find("metrics check ok:"), std::string::npos);
+  EXPECT_NE(check.out.find("wrote metrics:"), std::string::npos);
+
+  EXPECT_EQ(run_cli({"metrics-check", "--file", prom}).code, 0);
+  std::ifstream in(prom);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("gpumine_server_requests_total{endpoint=\"health\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gpumine_snapshot_rules "), std::string::npos);
+}
+
+TEST(Cli, MineFlightDumpLeavesALoadableBundle) {
+  const std::string csv = temp_path("cli_flight.csv");
+  const std::string dump = temp_path("cli_flight_dump.json");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "3000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto mine = run_cli({"mine", "--csv", csv, "--keyword", "Failed",
+                             "--bare", "Status", "--flight-dump", dump});
+  ASSERT_EQ(mine.code, 0) << mine.err;
+  // A clean run still leaves a dump of the retained rings, and it must
+  // load as a Chrome trace.
+  const auto check = run_cli({"trace-check", "--file", dump});
+  EXPECT_EQ(check.code, 0) << check.err;
+}
+
+TEST(Cli, MineRejectsBadLogLevelAndAcceptsLogFile) {
+  const std::string csv = temp_path("cli_log.csv");
+  const std::string log = temp_path("cli_log.jsonl");
+  ASSERT_EQ(run_cli({"synth", "--trace", "philly", "--jobs", "2000", "--out",
+                     csv})
+                .code,
+            0);
+  const auto bad = run_cli({"mine", "--csv", csv, "--keyword", "Failed",
+                            "--bare", "Status", "--log-level", "loud"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("log"), std::string::npos);
+
+  const auto good = run_cli({"mine", "--csv", csv, "--keyword", "Failed",
+                             "--bare", "Status", "--log-level", "debug",
+                             "--log-file", log});
+  EXPECT_EQ(good.code, 0) << good.err;
+  Logger::instance().reset_for_tests();
 }
 
 TEST(Cli, TraceCheckRejectsMissingAndMalformedFiles) {

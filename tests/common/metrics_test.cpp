@@ -1,0 +1,266 @@
+// Metrics registry + Prometheus exposition: instrument semantics,
+// deterministic snapshots under concurrent registration, and the
+// self-contained exposition lint that serve --check / metrics-check run.
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gpumine {
+namespace {
+
+TEST(Counter, AddsMonotonically) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test_total", "help");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("test_gauge", "help");
+  g.set(1.5);
+  g.set(-2.5);
+  EXPECT_DOUBLE_EQ(g.value(), -2.5);
+}
+
+TEST(RegistryHistogram, EmptyRendersZeroCountAndSum) {
+  MetricsRegistry registry;
+  registry.histogram("test_seconds", "help", {0.1, 1.0});
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("test_seconds_count 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_seconds_sum 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"+Inf\"} 0"),
+            std::string::npos)
+      << text;
+  EXPECT_TRUE(validate_prometheus_text(text).ok());
+}
+
+TEST(RegistryHistogram, SingleSampleLandsInItsBucketAndAllAbove) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test_seconds", "help", {0.1, 1.0});
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"0.1\"} 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"1\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RegistryHistogram, BoundIsLeInclusive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test_seconds", "help", {0.1, 1.0});
+  h.observe(0.1);  // exactly the first bound: le-inclusive
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(RegistryHistogram, OverflowSaturatesIntoTheInfBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test_seconds", "help", {0.1, 1.0});
+  h.observe(1e12);
+  h.observe(1e12);
+  EXPECT_EQ(h.bucket_count(2), 2u);  // bounds.size() == +Inf slot
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"1\"} 0"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("test_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_TRUE(validate_prometheus_text(text).ok());
+}
+
+TEST(MetricsRegistry, SameSeriesIsReturnedForSameNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("t_total", "h", {{"k", "v"}});
+  Counter& b = registry.counter("t_total", "h", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = registry.counter("t_total", "h", {{"k", "w"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("t_total", "h", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.counter("t_total", "h", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, CollectorsRunAtSnapshotTime) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("t_gauge", "h");
+  int calls = 0;
+  registry.add_collector([&] {
+    ++calls;
+    g.set(7.0);
+  });
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(snapshot.families.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.families[0].series[0].value, 7.0);
+}
+
+// The determinism bar from the issue: 8 threads registering overlapping
+// families in racing order must yield the same rendered series set as a
+// single thread doing the same work.
+TEST(MetricsRegistry, ConcurrentRegistrationRendersDeterministically) {
+  const auto exercise = [](MetricsRegistry& registry, int t) {
+    for (int i = 0; i < 16; ++i) {
+      registry
+          .counter("det_total", "racing counter",
+                   {{"worker", std::to_string((t + i) % 8)}})
+          .add();
+      registry
+          .gauge("det_gauge", "racing gauge",
+                 {{"worker", std::to_string((t * 3 + i) % 8)}})
+          .set(1.0);
+      registry
+          .histogram("det_seconds", "racing histogram", {0.5},
+                     {{"worker", std::to_string(i % 8)}})
+          .observe(0.25);
+    }
+  };
+
+  MetricsRegistry parallel;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&parallel, t, &exercise] { exercise(parallel, t); });
+  }
+  for (auto& thread : threads) thread.join();
+
+  MetricsRegistry serial;
+  for (int t = 0; t < 8; ++t) exercise(serial, t);
+
+  const std::string a = parallel.render_prometheus();
+  const std::string b = serial.render_prometheus();
+  EXPECT_EQ(a, b);
+  const auto linted = validate_prometheus_text(a);
+  ASSERT_TRUE(linted.ok()) << linted.error().to_string();
+  // 8 counters + 8 gauges + 8 histograms x (2 buckets + sum + count).
+  EXPECT_EQ(linted.value(), 48u);
+}
+
+TEST(PrometheusLint, AcceptsARenderedRegistry) {
+  MetricsRegistry registry;
+  registry.counter("ok_total", "a counter", {{"kind", "x"}}).add(3);
+  registry.gauge("ok_gauge", "a gauge").set(1.25);
+  registry.histogram("ok_seconds", "a histogram", {0.1, 1.0}).observe(0.2);
+  const auto linted = validate_prometheus_text(registry.render_prometheus());
+  ASSERT_TRUE(linted.ok()) << linted.error().to_string();
+  // Histogram samples count per line: 3 buckets + sum + count.
+  EXPECT_EQ(linted.value(), 7u);
+}
+
+TEST(PrometheusLint, RejectsSamplesWithoutHelpOrType) {
+  EXPECT_FALSE(validate_prometheus_text("no_meta_total 1\n").ok());
+  EXPECT_FALSE(validate_prometheus_text("# HELP x_total h\nx_total 1\n").ok());
+  EXPECT_FALSE(
+      validate_prometheus_text("# TYPE x_total counter\nx_total 1\n").ok());
+}
+
+TEST(PrometheusLint, RejectsDuplicateSeries) {
+  const std::string text =
+      "# HELP x_total h\n"
+      "# TYPE x_total counter\n"
+      "x_total{k=\"v\"} 1\n"
+      "x_total{k=\"v\"} 2\n";
+  const auto linted = validate_prometheus_text(text);
+  ASSERT_FALSE(linted.ok());
+  EXPECT_NE(linted.error().to_string().find("duplicate"), std::string::npos);
+}
+
+TEST(PrometheusLint, RejectsInterleavedFamilies) {
+  const std::string text =
+      "# HELP a_total h\n"
+      "# TYPE a_total counter\n"
+      "a_total 1\n"
+      "# HELP b_total h\n"
+      "# TYPE b_total counter\n"
+      "b_total 1\n"
+      "a_total{k=\"v\"} 2\n";
+  EXPECT_FALSE(validate_prometheus_text(text).ok());
+}
+
+TEST(PrometheusLint, RejectsNegativeAndNonFiniteCounters) {
+  const std::string negative =
+      "# HELP x_total h\n# TYPE x_total counter\nx_total -1\n";
+  EXPECT_FALSE(validate_prometheus_text(negative).ok());
+  const std::string nan =
+      "# HELP x_total h\n# TYPE x_total counter\nx_total NaN\n";
+  EXPECT_FALSE(validate_prometheus_text(nan).ok());
+}
+
+TEST(PrometheusLint, RejectsHistogramWithoutInfBucket) {
+  const std::string text =
+      "# HELP h_seconds h\n"
+      "# TYPE h_seconds histogram\n"
+      "h_seconds_bucket{le=\"1\"} 1\n"
+      "h_seconds_sum 0.5\n"
+      "h_seconds_count 1\n";
+  const auto linted = validate_prometheus_text(text);
+  ASSERT_FALSE(linted.ok());
+  EXPECT_NE(linted.error().to_string().find("+Inf"), std::string::npos);
+}
+
+TEST(PrometheusLint, RejectsNonCumulativeHistogramBuckets) {
+  const std::string text =
+      "# HELP h_seconds h\n"
+      "# TYPE h_seconds histogram\n"
+      "h_seconds_bucket{le=\"1\"} 2\n"
+      "h_seconds_bucket{le=\"+Inf\"} 1\n"
+      "h_seconds_sum 0.5\n"
+      "h_seconds_count 1\n";
+  EXPECT_FALSE(validate_prometheus_text(text).ok());
+}
+
+TEST(PrometheusLint, RejectsCountDisagreeingWithInfBucket) {
+  const std::string text =
+      "# HELP h_seconds h\n"
+      "# TYPE h_seconds histogram\n"
+      "h_seconds_bucket{le=\"+Inf\"} 2\n"
+      "h_seconds_sum 0.5\n"
+      "h_seconds_count 3\n";
+  EXPECT_FALSE(validate_prometheus_text(text).ok());
+}
+
+TEST(PrometheusLint, RejectsMalformedNamesAndEmptyDocuments) {
+  EXPECT_FALSE(validate_prometheus_text("").ok());
+  EXPECT_FALSE(
+      validate_prometheus_text("# HELP 9bad h\n# TYPE 9bad gauge\n9bad 1\n")
+          .ok());
+}
+
+TEST(PrometheusLint, CountsDistinctSeries) {
+  const std::string text =
+      "# HELP a_total h\n"
+      "# TYPE a_total counter\n"
+      "a_total{k=\"1\"} 1\n"
+      "a_total{k=\"2\"} 1\n"
+      "# HELP b_gauge h\n"
+      "# TYPE b_gauge gauge\n"
+      "b_gauge -0.5\n";
+  const auto linted = validate_prometheus_text(text);
+  ASSERT_TRUE(linted.ok()) << linted.error().to_string();
+  EXPECT_EQ(linted.value(), 3u);
+}
+
+TEST(PrometheusRender, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.gauge("esc_gauge", "h", {{"k", "a\"b\\c\nd"}}).set(1.0);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("k=\"a\\\"b\\\\c\\nd\""), std::string::npos) << text;
+  EXPECT_TRUE(validate_prometheus_text(text).ok());
+}
+
+}  // namespace
+}  // namespace gpumine

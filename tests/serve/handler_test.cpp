@@ -4,8 +4,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "core/snapshot.hpp"
+#include "serve/prometheus.hpp"
 #include "serve_test_util.hpp"
 
 namespace gpumine::serve {
@@ -141,6 +145,68 @@ TEST(RequestHandler, ReloadSwapsInTheNewSnapshot) {
 TEST(RequestHandler, ReloadRejectsWrongMethod) {
   RequestHandler handler(engine_fixture(), "");
   EXPECT_EQ(handler.handle("PUT", "/reload").status, 405);
+}
+
+TEST(RequestHandler, MetricsEndpointServesLintedExposition) {
+  auto engine = engine_fixture();
+  RequestHandler handler(engine, "");
+  (void)handler.handle("GET", "/query?keyword=Failed");
+  (void)handler.handle("GET", "/query?keyword=NoSuchItem");
+  const HttpResponse response = handler.handle("GET", "/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, kPrometheusContentType);
+  const auto linted = validate_prometheus_text(response.body);
+  ASSERT_TRUE(linted.ok()) << linted.error().to_string();
+  EXPECT_NE(response.body.find(
+                "gpumine_server_requests_total{endpoint=\"query\"} 2"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find(
+                "gpumine_server_errors_total{endpoint=\"query\"} 1"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("gpumine_snapshot_rules "),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find("gpumine_server_request_latency_seconds_bucket"),
+      std::string::npos);
+}
+
+TEST(RequestHandler, MetricsSeriesSetIsStableAcrossScrapes) {
+  RequestHandler handler(engine_fixture(), "");
+  const auto series_names = [](const std::string& body) {
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    while (begin < body.size()) {
+      std::size_t end = body.find('\n', begin);
+      if (end == std::string::npos) end = body.size();
+      const std::string line = body.substr(begin, end - begin);
+      if (!line.empty() && line[0] != '#') {
+        names.push_back(line.substr(0, line.find(' ')));
+      }
+      begin = end + 1;
+    }
+    return names;
+  };
+  const auto first = series_names(handler.handle("GET", "/metrics").body);
+  (void)handler.handle("GET", "/query?keyword=Failed");
+  const auto second = series_names(handler.handle("GET", "/metrics").body);
+  // Traffic changes sample values, never the series set: every series
+  // is pre-registered per endpoint, not created on first hit.
+  EXPECT_EQ(first, second);
+}
+
+TEST(RequestHandler, SlowQueryThresholdIsConfigurable) {
+  Logger::instance().set_level(LogLevel::kOff);  // keep stderr clean
+  RequestHandler handler(engine_fixture(), "");
+  EXPECT_EQ(handler.slow_query_ns(), 0u);
+  handler.set_slow_query_ns(1);  // 1ns: everything is slow
+  EXPECT_EQ(handler.slow_query_ns(), 1u);
+  // With the flight sink off the log line still forms (empty spans);
+  // the request itself must be unaffected.
+  const HttpResponse response = handler.handle("GET", "/query?keyword=Failed");
+  EXPECT_EQ(response.status, 200);
+  Logger::instance().reset_for_tests();
 }
 
 }  // namespace

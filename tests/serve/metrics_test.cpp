@@ -44,6 +44,36 @@ TEST(LatencyHistogram, ExtremeValuesClampToTheLastBucket) {
             (std::uint64_t{1} << (LatencyHistogram::kBuckets - 1)) - 1);
 }
 
+TEST(LatencyHistogram, TracksExactSumMinMax) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.sum_ns(), 0u);
+  EXPECT_EQ(histogram.min_ns(), 0u);  // empty: min reports 0
+  EXPECT_EQ(histogram.max_ns(), 0u);
+  histogram.record(700);
+  histogram.record(100);
+  histogram.record(900000);
+  EXPECT_EQ(histogram.sum_ns(), 900800u);
+  EXPECT_EQ(histogram.min_ns(), 100u);
+  EXPECT_EQ(histogram.max_ns(), 900000u);
+}
+
+TEST(LatencyHistogram, SingleSampleSumEqualsValue) {
+  LatencyHistogram histogram;
+  histogram.record(12345);
+  EXPECT_EQ(histogram.sum_ns(), 12345u);
+  EXPECT_EQ(histogram.min_ns(), 12345u);
+  EXPECT_EQ(histogram.max_ns(), 12345u);
+}
+
+TEST(LatencyHistogram, BucketCountsExposeTheRawDistribution) {
+  LatencyHistogram histogram;
+  histogram.record(100);  // bit_width 7 -> bucket 7
+  histogram.record(100);
+  histogram.record(~std::uint64_t{0});  // clamps to the top bucket
+  EXPECT_EQ(histogram.bucket_count(7), 2u);
+  EXPECT_EQ(histogram.bucket_count(LatencyHistogram::kBuckets - 1), 1u);
+}
+
 TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
   LatencyHistogram histogram;
   std::vector<std::thread> threads;
@@ -77,23 +107,36 @@ TEST(ServerMetrics, CountsRequestsErrorsAndReloads) {
   EXPECT_EQ(snapshot.endpoints[1].name, "support");
   EXPECT_EQ(snapshot.endpoints[1].requests, 1u);
   EXPECT_EQ(snapshot.endpoints[1].errors, 0u);
+  // Exact aggregates for the query endpoint: 1000ns and 2000ns samples.
+  EXPECT_EQ(snapshot.endpoints[0].sum_ns, 3000u);
+  EXPECT_DOUBLE_EQ(snapshot.endpoints[0].mean_us, 1.5);
+  EXPECT_DOUBLE_EQ(snapshot.endpoints[0].min_us, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.endpoints[0].max_us, 2.0);
+  EXPECT_EQ(snapshot.endpoints[0].bucket_counts.size(),
+            LatencyHistogram::kBuckets);
 }
 
 TEST(ServerMetrics, JsonCarriesEveryEndpoint) {
   ServerMetrics metrics;
   metrics.record(Endpoint::kStats, 200, 100);
   const std::string json = metrics.snapshot().to_json();
-  for (const char* name : {"query", "support", "stats", "reload", "other"}) {
+  for (const char* name : {"query", "support", "stats", "reload", "health",
+                           "metrics", "other"}) {
     EXPECT_NE(json.find("\"name\":\"" + std::string(name) + "\""),
               std::string::npos)
         << json;
   }
   EXPECT_NE(json.find("\"total_requests\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"min_us\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_us\":"), std::string::npos);
 }
 
 TEST(EndpointNames, AreStable) {
   EXPECT_STREQ(endpoint_name(Endpoint::kQuery), "query");
   EXPECT_STREQ(endpoint_name(Endpoint::kReload), "reload");
+  EXPECT_STREQ(endpoint_name(Endpoint::kHealth), "health");
+  EXPECT_STREQ(endpoint_name(Endpoint::kMetrics), "metrics");
   EXPECT_STREQ(endpoint_name(Endpoint::kOther), "other");
 }
 
